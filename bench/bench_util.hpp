@@ -1,0 +1,50 @@
+// Shared helpers for the experiment-reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "pipeline/sentomist.hpp"
+#include "util/table.hpp"
+
+namespace sent::bench {
+
+/// Print a section header.
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Print the detection-quality summary the paper reports in prose.
+inline void print_quality(const pipeline::AnalysisReport& report) {
+  std::printf("samples (event-handling intervals): %zu\n",
+              report.samples.size());
+  std::printf("feature dimensionality:             %zu\n",
+              report.feature_dim);
+  std::printf("detector:                           %s\n",
+              report.detector_name.c_str());
+  std::printf("ground-truth buggy intervals:       %zu\n",
+              report.buggy_count());
+  auto ranks = report.bug_ranks();
+  std::printf("ranks of buggy intervals:           ");
+  if (ranks.empty()) {
+    std::printf("(none)\n");
+  } else {
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+      std::printf("%s%zu", i ? ", " : "", ranks[i]);
+    std::printf("\n");
+  }
+  if (!ranks.empty()) {
+    std::printf("first buggy interval at rank:       %zu\n",
+                report.first_bug_rank());
+    std::printf("precision@%zu:                       %.3f\n",
+                report.first_bug_rank(),
+                report.precision_at(report.first_bug_rank()));
+    std::size_t k = std::min<std::size_t>(10, report.ranking.size());
+    std::printf("buggy intervals in top-%zu:          %zu\n", k,
+                static_cast<std::size_t>(report.precision_at(k) *
+                                             static_cast<double>(k) +
+                                         0.5));
+  }
+}
+
+}  // namespace sent::bench

@@ -1,0 +1,78 @@
+// Extension E4 — detection robustness under channel impairments.
+//
+// The paper's claim is that the buggy drop "is difficult to identify ...
+// from other common wireless losses" (§VI-C). This bench turns wireless
+// loss progressively up on case II — iid loss, then bursty Gilbert-Elliott
+// fading — and checks whether the buggy ACTIVE drops still outrank the
+// chaos. Wireless losses hit frames on the air (invisible to the relay's
+// instruction counters), while active drops run the drop-path
+// instructions, so detection should hold up; link retries under heavy loss
+// add honest noise intervals.
+#include <cstdio>
+
+#include "apps/scenarios.hpp"
+#include "bench_util.hpp"
+#include "util/cli.hpp"
+
+using namespace sent;
+
+namespace {
+
+void run_row(util::Table& table, const std::string& label,
+             apps::Case2Config config) {
+  apps::Case2Result r = apps::run_case2(config);
+  pipeline::AnalysisReport report =
+      pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
+  table.add_row({label, util::cell(r.relay_received),
+                 util::cell(r.relay_dropped_busy),
+                 util::cell(report.first_bug_rank()),
+                 util::cell(report.inspection_depth_for_all()),
+                 util::cell(report.precision_at(
+                                std::max<std::size_t>(
+                                    1, report.buggy_count())),
+                            3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("seed", "experiment seed", "3");
+  if (!cli.parse(argc, argv)) return 1;
+  auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  bench::section("Extension E4: case II detection under channel impairments");
+  util::Table table({"channel", "arrivals", "active drops",
+                     "first bug rank", "depth for all", "precision@|bugs|"});
+
+  {
+    apps::Case2Config config;
+    config.seed = seed;
+    run_row(table, "clean", config);
+  }
+  for (double loss : {0.05, 0.15}) {
+    apps::Case2Config config;
+    config.seed = seed;
+    config.loss_rate = loss;
+    run_row(table, "iid loss " + std::to_string(int(loss * 100)) + "%",
+            config);
+  }
+  {
+    apps::Case2Config config;
+    config.seed = seed;
+    net::Channel::GilbertElliott model;
+    model.loss_good = 0.02;
+    model.loss_bad = 0.7;
+    model.p_good_to_bad = 0.02;
+    model.p_bad_to_good = 0.2;
+    config.gilbert_elliott = model;
+    run_row(table, "bursty (Gilbert-Elliott)", config);
+  }
+
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nWireless losses happen on the air and never execute relay code;\n"
+      "the ACTIVE drops keep executing their distinct instruction path,\n"
+      "which is why the ranking survives lossy and bursty channels.\n");
+  return 0;
+}

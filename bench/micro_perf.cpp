@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark): throughput of the pieces the
+// Sentomist pipeline is built from — the emulator, the lifecycle parser,
+// the featurizer, and the one-class SVM.
+#include <benchmark/benchmark.h>
+
+#include "apps/scenarios.hpp"
+#include "core/anatomizer.hpp"
+#include "core/features.hpp"
+#include "ml/ocsvm.hpp"
+#include "os/node.hpp"
+#include "util/rng.hpp"
+
+using namespace sent;
+
+namespace {
+
+// ------------------------------------------------------- event queue
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      q.schedule_at(rng.below(1 << 20), [&sink] { ++sink; });
+    q.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+// ---------------------------------------------------------- emulator
+
+void BM_MachineInterruptRate(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    os::Node node(0, q);
+    std::uint64_t work = 0;
+    mcu::CodeId handler = mcu::CodeBuilder("h", false)
+                              .instr("a", [&] { ++work; })
+                              .instr("b", [&] { ++work; })
+                              .instr("c", [&] { ++work; })
+                              .build(node.program());
+    node.machine().register_handler(5, handler);
+    trace::IrqLine line = node.timers().create("t");
+    mcu::CodeId timer_handler =
+        mcu::CodeBuilder("th", false)
+            .instr("raise", [&] { node.machine().raise_irq(5); })
+            .build(node.program());
+    node.machine().register_handler(line, timer_handler);
+    node.timers().start_periodic(line, 1000);
+    q.run_until(sim::cycles_from_millis(100));
+    benchmark::DoNotOptimize(work);
+  }
+}
+BENCHMARK(BM_MachineInterruptRate);
+
+// ----------------------------------------------------------- parsing
+
+// A realistic trace to anatomize: case-I sensor node, one run.
+const trace::NodeTrace& sample_trace() {
+  static const trace::NodeTrace t = [] {
+    apps::Case1Config config;
+    config.seed = 5;
+    config.sample_periods_ms = {20};
+    config.run_seconds = 10.0;
+    auto r = apps::run_case1(config);
+    return r.runs[0].sensor_trace;
+  }();
+  return t;
+}
+
+void BM_AnatomizeTrace(benchmark::State& state) {
+  const trace::NodeTrace& t = sample_trace();
+  for (auto _ : state) {
+    core::Anatomizer anatomizer(t);
+    auto intervals = anatomizer.intervals_for(os::irq::kAdc);
+    benchmark::DoNotOptimize(intervals.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(t.lifecycle.size()) * state.iterations());
+}
+BENCHMARK(BM_AnatomizeTrace);
+
+void BM_InstructionCounters(benchmark::State& state) {
+  const trace::NodeTrace& t = sample_trace();
+  core::Anatomizer anatomizer(t);
+  auto intervals = anatomizer.intervals_for(os::irq::kAdc);
+  for (auto _ : state) {
+    auto m = core::instruction_counters(t, intervals);
+    benchmark::DoNotOptimize(m.rows.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(intervals.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_InstructionCounters);
+
+// --------------------------------------------------------------- SVM
+
+void BM_OcsvmFitScore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(20);
+    for (double& v : row) v = rng.normal();
+    rows.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    ml::OneClassSvm svm;
+    auto scores = svm.score(rows);
+    benchmark::DoNotOptimize(scores[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_OcsvmFitScore)->Arg(200)->Arg(1000);
+
+// ------------------------------------------------------ whole pipeline
+
+void BM_Case2EndToEnd(benchmark::State& state) {
+  for (auto _ : state) {
+    apps::Case2Config config;
+    config.seed = 3;
+    config.run_seconds = 5.0;
+    auto r = apps::run_case2(config);
+    benchmark::DoNotOptimize(r.relay_received);
+  }
+}
+BENCHMARK(BM_Case2EndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

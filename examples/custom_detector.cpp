@@ -1,0 +1,77 @@
+// Plug-in detectors: Sentomist treats the outlier detector as a plug-in
+// (paper §VI-E). This example implements a custom detector in ~25 lines —
+// a z-score on the first feature column — plugs it into the pipeline, and
+// compares its ranking of the case-II relay trace against the built-in
+// one-class SVM and kNN detectors.
+//
+// Build & run:  ./build/examples/custom_detector
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "apps/scenarios.hpp"
+#include "ml/detectors.hpp"
+#include "pipeline/sentomist.hpp"
+#include "util/stats.hpp"
+
+using namespace sent;
+
+namespace {
+
+// A deliberately naive detector: |z-score| of each row's total activity.
+// Lower score = more suspicious, matching the framework convention.
+class TotalActivityZScore final : public core::OutlierDetector {
+ public:
+  std::string name() const override { return "total-activity-zscore"; }
+
+  std::vector<double> score(
+      const std::vector<std::vector<double>>& rows) override {
+    std::vector<double> totals;
+    totals.reserve(rows.size());
+    for (const auto& row : rows) {
+      double t = 0.0;
+      for (double v : row) t += v;
+      totals.push_back(t);
+    }
+    double mu = util::mean(totals);
+    double sigma = util::stddev(totals);
+    if (sigma < 1e-12) sigma = 1.0;
+    std::vector<double> scores(totals.size());
+    for (std::size_t i = 0; i < totals.size(); ++i)
+      scores[i] = -std::abs(totals[i] - mu) / sigma;
+    return scores;
+  }
+};
+
+}  // namespace
+
+int main() {
+  apps::Case2Config config;
+  config.seed = 3;
+  apps::Case2Result result = apps::run_case2(config);
+  std::printf("case II relay: %llu arrivals, %llu actively dropped\n\n",
+              static_cast<unsigned long long>(result.relay_received),
+              static_cast<unsigned long long>(result.relay_dropped_busy));
+
+  std::vector<std::shared_ptr<core::OutlierDetector>> detectors{
+      pipeline::default_detector(),
+      std::make_shared<ml::KnnDetector>(),
+      std::make_shared<TotalActivityZScore>(),
+  };
+
+  std::vector<pipeline::TaggedTrace> traces{{&result.relay_trace, 0}};
+  for (const auto& detector : detectors) {
+    pipeline::AnalysisOptions options;
+    options.detector = detector;
+    pipeline::AnalysisReport report =
+        analyze(traces, os::irq::kRadioSpi, options);
+    auto ranks = report.bug_ranks();
+    std::printf("%-24s -> buggy intervals at ranks:", detector->name().c_str());
+    for (std::size_t r : ranks) std::printf(" %zu", r);
+    std::printf("  (precision@3 = %.2f)\n", report.precision_at(3));
+  }
+  std::printf(
+      "\nAny class with a score() method can drive the ranking; the\n"
+      "framework handles anatomization, featurization and reporting.\n");
+  return 0;
+}

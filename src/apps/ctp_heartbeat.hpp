@@ -1,0 +1,105 @@
+// Case study III application: event detection over CTP, co-existing with a
+// heartbeat protocol (paper §VI-D).
+//
+// Every node runs the same program image:
+//   * CTP routing (periodic beacons, min-ETX parent) and forwarding
+//     (bounded queue, `sending` mark, retransmissions) toward the root;
+//   * a heartbeat broadcast every 500 ms;
+//   * a report timer: while an external "event of interest" is active, a
+//     source node samples a reading, enqueues it into CTP and pumps the
+//     forwarding engine. This timer's interrupt line is the event type the
+//     paper anatomizes ("the timeout event procedure ... the timer to
+//     report sensing data").
+//
+// THE BUG: CTP's sendTask sets the `sending` mark, then calls the radio.
+// When the chip is busy — e.g. this node's own heartbeat or beacon is
+// still on air — send returns FAIL, which CTP does not handle: the mark is
+// never reset, no send-done will arrive, and the node's CTP hangs forever
+// (proto::CtpNode::on_send_fail). The fixed variant clears the mark and
+// retries after a short delay.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hw/radio.hpp"
+#include "os/node.hpp"
+#include "proto/ctp.hpp"
+#include "proto/heartbeat.hpp"
+#include "util/rng.hpp"
+
+namespace sent::apps {
+
+struct CtpHeartbeatConfig {
+  bool is_root = false;
+  bool is_source = false;
+
+  sim::Cycle beacon_period = sim::cycles_from_millis(1000);
+  sim::Cycle report_period = sim::cycles_from_millis(600);
+  sim::Cycle heartbeat_period = sim::cycles_from_millis(500);
+
+  /// Heartbeat payload padding; larger heartbeats hold the radio longer,
+  /// widening the contention window with CTP.
+  std::size_t heartbeat_padding = 96;
+
+  /// External event-of-interest process: alternating active/idle phases
+  /// with exponential durations.
+  sim::Cycle mean_event_on = sim::cycles_from_millis(3000);
+  sim::Cycle mean_event_off = sim::cycles_from_millis(1500);
+
+  /// Repaired variant: handle FAIL and retry after `retry_delay`.
+  bool fixed = false;
+  sim::Cycle retry_delay = sim::cycles_from_millis(10);
+
+  proto::CtpConfig ctp;  ///< self / is_root filled in by the app
+};
+
+class CtpHeartbeatApp {
+ public:
+  CtpHeartbeatApp(os::Node& node, hw::RadioChip& chip,
+                  CtpHeartbeatConfig config, util::Rng rng);
+
+  CtpHeartbeatApp(const CtpHeartbeatApp&) = delete;
+  CtpHeartbeatApp& operator=(const CtpHeartbeatApp&) = delete;
+
+  /// Start timers (with per-node random phases) and the event process.
+  void start();
+
+  /// The interrupt line of the report timer — the anatomized event type.
+  trace::IrqLine report_line() const { return report_line_; }
+
+  const proto::CtpNode& ctp() const { return *ctp_; }
+  const proto::Heartbeat& heartbeat() const { return *heartbeat_; }
+
+  bool event_active() const { return event_active_; }
+  std::uint64_t reports_attempted() const { return reports_attempted_; }
+  std::uint64_t beacons_sent() const { return beacons_sent_; }
+  std::uint64_t beacons_skipped_busy() const { return beacons_skipped_; }
+
+ private:
+  os::Node& node_;
+  hw::RadioChip& chip_;
+  CtpHeartbeatConfig config_;
+  util::Rng rng_;
+
+  std::unique_ptr<proto::CtpNode> ctp_;
+  std::unique_ptr<proto::Heartbeat> heartbeat_;
+
+  trace::IrqLine beacon_line_ = 0;
+  trace::IrqLine report_line_ = 0;
+  trace::IrqLine heartbeat_line_ = 0;
+  trace::IrqLine retry_line_ = 0;
+  trace::TaskId send_task_ = 0;
+
+  hw::RadioChip::Event event_{};
+  bool event_active_ = false;
+  std::uint16_t reading_ = 0;
+  std::uint16_t enc_tmp_ = 0;  ///< encoding-loop scratch register
+  std::uint64_t reports_attempted_ = 0, beacons_sent_ = 0,
+                beacons_skipped_ = 0;
+
+  void build_code();
+  void schedule_event_flip();
+};
+
+}  // namespace sent::apps

@@ -1,0 +1,153 @@
+#include "apps/forwarding.hpp"
+
+#include "util/assert.hpp"
+
+namespace sent::apps {
+
+// ---------------------------------------------------------------- source
+
+RandomSourceApp::RandomSourceApp(os::Node& node, hw::RadioChip& chip,
+                                 RandomSourceConfig config, util::Rng rng)
+    : node_(node), chip_(chip), config_(config), rng_(rng) {
+  chip_.set_signal_txdone(false);  // fire-and-forget sender
+  timer_line_ = node_.timers().create("SendTimer");
+  mcu::CodeBuilder b("SendTimer.fired", /*is_task=*/false);
+  b.instr("send", [this] {
+    net::Packet p;
+    p.dst = config_.dst;
+    p.am_type = proto::am::kForward;
+    p.origin = node_.id();
+    p.seq = seq_++;
+    auto bytes = static_cast<std::size_t>(rng_.uniform_int(
+        static_cast<std::int64_t>(config_.min_payload_bytes),
+        static_cast<std::int64_t>(config_.max_payload_bytes)));
+    p.payload.assign(bytes, 0x5A);
+    if (chip_.send(std::move(p)) == hw::SendResult::Ok)
+      ++sent_;
+    else
+      ++skipped_busy_;
+  });
+  b.instr("reschedule", [this] {
+    node_.timers().start_oneshot(timer_line_, next_delay());
+  });
+  mcu::CodeId id = b.build(node_.program());
+  node_.machine().register_handler(timer_line_, id);
+}
+
+sim::Cycle RandomSourceApp::next_delay() {
+  double mean = static_cast<double>(config_.mean_interval);
+  auto delay = static_cast<sim::Cycle>(rng_.exponential(mean));
+  return std::max(delay, config_.min_interval);
+}
+
+void RandomSourceApp::start() {
+  node_.timers().start_oneshot(timer_line_, next_delay());
+}
+
+// ----------------------------------------------------------------- relay
+
+RelayApp::RelayApp(os::Node& node, hw::RadioChip& chip, RelayConfig config)
+    : node_(node), chip_(chip), config_(config) {
+  if (config_.fixed)
+    build_fixed();
+  else
+    build_buggy();
+}
+
+void RelayApp::build_buggy() {
+  // The paper's structure: the SPI packet-arrival event procedure calls
+  // Receive.receive, which directly calls AMSend.send. No send-done is
+  // consumed (fire-and-forget), so every SPI interrupt on this node is a
+  // packet arrival — matching the paper's "each of the instances
+  // corresponds to a packet arrival event".
+  chip_.set_signal_txdone(false);
+  mcu::CodeBuilder b("Receive.receive", /*is_task=*/false);
+  b.label("top");
+  b.ret_if("empty", [this] { return !chip_.has_event(); });
+  b.instr("take", [this] {
+    event_ = chip_.take_event();
+    ++received_;
+  });
+  // Software checksum over the payload before forwarding: one loop
+  // iteration per byte, so the counter varies with packet length.
+  b.instr("csum_init", [this] { csum_pos_ = 0; });
+  b.label("csum_top");
+  b.branch_if("csum_done",
+              [this] { return csum_pos_ >= event_.packet.payload.size(); },
+              "csum_out");
+  b.instr("csum_step", [this] { ++csum_pos_; });
+  b.jump("csum_loop", "csum_top");
+  b.label("csum_out");
+  b.instr("prepare_forward", [this] {
+    event_.packet.dst = config_.next_hop;  // AMSend.send target
+  });
+  // Periodic link-statistics bookkeeping (every 8th sequence number), the
+  // kind of data-dependent path real forwarding code has.
+  b.branch_if("stats_check",
+              [this] { return event_.packet.seq % 8 != 0; }, "no_stats");
+  b.instr("update_stats", [] {});
+  b.label("no_stats");
+  b.instr("amsend_call", [this] {
+    // Result checked by the following branch.
+  });
+  b.branch_if(
+      "check_busy",
+      [this] { return chip_.send(event_.packet) == hw::SendResult::Busy; },
+      "drop");
+  b.instr("sent", [this] { ++forwarded_; });
+  b.jump("next", "top");
+  b.label("drop");
+  b.instr("drop_busy", [this] {
+    // BUG: active drop because the radio's busy flag is set.
+    ++dropped_busy_;
+    node_.mark_bug("busy-drop");
+  });
+  b.jump("next2", "top");
+  mcu::CodeId id = b.build(node_.program());
+  node_.machine().register_handler(os::irq::kRadioSpi, id);
+}
+
+void RelayApp::build_fixed() {
+  // Repaired design: queue arrivals, pump one send at a time, continue
+  // from send-done. Requires TxDone signalling.
+  chip_.set_signal_txdone(true);
+  mcu::CodeBuilder b("Receive.receive", /*is_task=*/false);
+  b.label("top");
+  b.ret_if("empty", [this] { return !chip_.has_event(); });
+  b.instr("take", [this] { event_ = chip_.take_event(); });
+  b.branch_if(
+      "is_txdone",
+      [this] {
+        return event_.kind == hw::RadioChip::Event::Kind::TxDone;
+      },
+      "txdone");
+  b.instr("enqueue", [this] {
+    ++received_;
+    if (queue_.size() >= config_.queue_capacity) {
+      ++dropped_full_;
+      return;
+    }
+    net::Packet p = event_.packet;
+    p.dst = config_.next_hop;
+    queue_.push_back(std::move(p));
+  });
+  b.jump("pump_after_rx", "pump");
+  b.label("txdone");
+  b.instr("pop_sent", [this] {
+    if (!queue_.empty()) {
+      ++forwarded_;
+      queue_.pop_front();
+    }
+  });
+  b.label("pump");
+  b.branch_if(
+      "pump_check",
+      [this] { return queue_.empty() || chip_.busy(); }, "next");
+  b.instr("pump_send", [this] { chip_.send(queue_.front()); });
+  b.label("next");
+  b.jump("loop", "top");
+  mcu::CodeId id = b.build(node_.program());
+  node_.machine().register_handler(os::irq::kRadioSpi, id);
+}
+
+}  // namespace sent::apps

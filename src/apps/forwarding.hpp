@@ -1,0 +1,100 @@
+// Case study II applications: multi-hop packet forwarding (BlinkToRadio-
+// style), nodes 0 (sink) <- 1 (relay) <- 2 (source).
+//
+// RandomSourceApp injects packet-arrival events at the relay by sending
+// data packets at randomized (exponential) intervals — "by randomizing the
+// packet sending ratio of node 2, we can inject a random sequence of packet
+// arrival events for node 1 to handle" (§VI-C).
+//
+// RelayApp's packet-arrival event procedure is the paper's key function
+// pair: Receive.receive directly calls AMSend.send to forward the packet.
+//
+// THE BUG: when a packet arrives while the radio chip's busy flag is still
+// set from forwarding the previous packet (the flag spans the whole
+// RTS/CTS/DATA/ACK exchange), AMSend.send fails and the packet is ACTIVELY
+// DROPPED. The paper's fix — "the protocol should queue up a received
+// packet and send it when the busy flag is cleared" — is the fixed=true
+// variant, which buffers arrivals and pumps the queue from send-done.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "hw/radio.hpp"
+#include "os/node.hpp"
+#include "proto/am.hpp"
+#include "util/rng.hpp"
+
+namespace sent::apps {
+
+// ---------------------------------------------------------------- source
+
+struct RandomSourceConfig {
+  net::NodeId dst = 1;                ///< next hop (the relay)
+  sim::Cycle mean_interval = sim::cycles_from_millis(100);
+  sim::Cycle min_interval = sim::cycles_from_millis(1);
+  /// Payload length drawn uniformly per packet (sensor reports vary).
+  std::size_t min_payload_bytes = 4;
+  std::size_t max_payload_bytes = 16;
+};
+
+class RandomSourceApp {
+ public:
+  RandomSourceApp(os::Node& node, hw::RadioChip& chip,
+                  RandomSourceConfig config, util::Rng rng);
+
+  RandomSourceApp(const RandomSourceApp&) = delete;
+  RandomSourceApp& operator=(const RandomSourceApp&) = delete;
+
+  void start();
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t skipped_busy() const { return skipped_busy_; }
+
+ private:
+  os::Node& node_;
+  hw::RadioChip& chip_;
+  RandomSourceConfig config_;
+  util::Rng rng_;
+  trace::IrqLine timer_line_ = 0;
+  std::uint16_t seq_ = 0;
+  std::uint64_t sent_ = 0, skipped_busy_ = 0;
+
+  sim::Cycle next_delay();
+};
+
+// ----------------------------------------------------------------- relay
+
+struct RelayConfig {
+  net::NodeId next_hop = 0;  ///< where forwarded packets go (the sink)
+  bool fixed = false;        ///< queue-and-pump repaired variant
+  std::size_t queue_capacity = 8;
+};
+
+class RelayApp {
+ public:
+  RelayApp(os::Node& node, hw::RadioChip& chip, RelayConfig config);
+
+  RelayApp(const RelayApp&) = delete;
+  RelayApp& operator=(const RelayApp&) = delete;
+
+  std::uint64_t received() const { return received_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t dropped_busy() const { return dropped_busy_; }
+  std::uint64_t dropped_queue_full() const { return dropped_full_; }
+
+ private:
+  os::Node& node_;
+  hw::RadioChip& chip_;
+  RelayConfig config_;
+  hw::RadioChip::Event event_{};
+  std::deque<net::Packet> queue_;  // fixed variant only
+  std::size_t csum_pos_ = 0;       // checksum-loop scratch register
+  std::uint64_t received_ = 0, forwarded_ = 0, dropped_busy_ = 0,
+                dropped_full_ = 0;
+
+  void build_buggy();
+  void build_fixed();
+};
+
+}  // namespace sent::apps

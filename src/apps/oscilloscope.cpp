@@ -1,0 +1,146 @@
+#include "apps/oscilloscope.hpp"
+
+#include "util/assert.hpp"
+
+namespace sent::apps {
+
+OscilloscopeApp::OscilloscopeApp(os::Node& node, hw::AdcDevice& adc,
+                                 hw::RadioChip& chip,
+                                 OscilloscopeConfig config, util::Rng rng)
+    : node_(node), adc_(adc), chip_(chip), config_(config), rng_(rng) {
+  build_code();
+}
+
+void OscilloscopeApp::build_code() {
+  auto& prog = node_.program();
+  auto& kernel = node_.kernel();
+
+  sample_line_ = node_.timers().create("SampleTimer");
+  maintenance_line_ = node_.timers().create("MaintenanceTimer");
+
+  // --- task prepareAndSendPacket -----------------------------------------
+  // Sends the three collected readings to the sink in one data packet.
+  {
+    mcu::CodeBuilder b("prepareAndSendPacket", /*is_task=*/true);
+    b.instr("prepare", [this] {
+      // Building the payload reads the shared packet buffer — exactly the
+      // data the interleaving bug can have polluted by now.
+      // (The fixed variant reads the committed copy instead.)
+    });
+    b.instr("send", [this] {
+      const auto& buf = config_.fixed ? send_buffer_ : packet_data_;
+      net::Packet p;
+      p.dst = config_.sink;
+      p.am_type = proto::am::kOscilloscope;
+      for (std::uint16_t v : buf) net::put_u16(p.payload, v);
+      if (chip_.send(std::move(p)) == hw::SendResult::Ok) {
+        ++packets_sent_;
+      } else {
+        ++skipped_busy_;
+      }
+    });
+    b.instr("clear_pending", [this] { send_pending_ = false; });
+    mcu::CodeId id = b.build(prog);
+    send_task_ = kernel.register_task(id);
+  }
+
+  // --- task heavyTask ------------------------------------------------------
+  // The "heavy-weighted event procedure" body: a long computation loop.
+  {
+    mcu::CodeBuilder b("heavyTask", /*is_task=*/true);
+    b.instr("init", [this] { heavy_remaining_ = config_.heavy_iterations; });
+    b.label("loop");
+    b.instr(
+        "work", [this] { --heavy_remaining_; },
+        config_.heavy_iteration_cost);
+    b.branch_if("more", [this] { return heavy_remaining_ > 0; }, "loop");
+    mcu::CodeId id = b.build(prog);
+    heavy_task_ = kernel.register_task(id);
+  }
+
+  // --- ADC data-ready handler: Read.readDone (Figure 2) -------------------
+  {
+    mcu::CodeBuilder b("Read.readDone", /*is_task=*/false);
+    b.instr("store_data", [this] {
+      // packet->data[dataItem] = data;
+      if (send_pending_ && !config_.fixed) {
+        // Ground truth: a committed-but-unsent packet is being overwritten.
+        ++pollutions_;
+        node_.mark_bug("data-pollution");
+      }
+      packet_data_[data_item_] = adc_.value();
+      ++readings_;
+    });
+    // Value-dependent filtering, as real sampling code has: spikes are
+    // clamped and high-range readings take a calibration path. These
+    // branches give normal intervals natural instruction-count variation.
+    b.branch_if("spike_check",
+                [this] { return packet_data_[data_item_] < 700; },
+                "no_spike");
+    b.instr("clamp_spike", [this] { packet_data_[data_item_] = 700; });
+    b.label("no_spike");
+    b.branch_if("range_check",
+                [this] { return packet_data_[data_item_] < 520; },
+                "low_range");
+    b.instr("calibrate_high", [this] {
+      packet_data_[data_item_] =
+          static_cast<std::uint16_t>(packet_data_[data_item_] - 3);
+    });
+    b.label("low_range");
+    // Delta/run-length encoding pass whose work is proportional to the set
+    // bits of the reading — a data-dependent loop like real compression
+    // code, giving the counter near-continuous variation across intervals.
+    b.instr("enc_init", [this] { enc_tmp_ = packet_data_[data_item_]; });
+    b.label("enc_top");
+    b.branch_if("enc_done", [this] { return enc_tmp_ == 0; }, "enc_out");
+    b.instr("enc_step", [this] { enc_tmp_ &= (enc_tmp_ - 1); });
+    b.jump("enc_loop", "enc_top");
+    b.label("enc_out");
+    b.instr("inc_item", [this] { ++data_item_; });
+    b.ret_if("check_three", [this] { return data_item_ != 3; });
+    b.instr("reset_item", [this] { data_item_ = 0; });
+    b.instr("post_send", [this] {
+      if (config_.fixed) send_buffer_ = packet_data_;  // commit a copy
+      send_pending_ = true;
+      node_.kernel().post(send_task_);
+    });
+    mcu::CodeId id = b.build(prog);
+    node_.machine().register_handler(os::irq::kAdc, id);
+  }
+
+  // --- sample timer handler: request an ADC conversion ---------------------
+  {
+    mcu::CodeBuilder b("SampleTimer.fired", /*is_task=*/false);
+    b.instr("request_read", [this] { adc_.request_read(); });
+    mcu::CodeId id = b.build(prog);
+    node_.machine().register_handler(sample_line_, id);
+  }
+
+  // --- maintenance timer handler -------------------------------------------
+  {
+    mcu::CodeBuilder b("MaintenanceTimer.fired", /*is_task=*/false);
+    b.ret_if("roll", [this] {
+      return !rng_.chance(config_.maintenance_heavy_prob);
+    });
+    b.instr("post_heavy", [this] {
+      ++heavy_tasks_;
+      node_.kernel().post(heavy_task_);
+    });
+    mcu::CodeId id = b.build(prog);
+    node_.machine().register_handler(maintenance_line_, id);
+  }
+}
+
+void OscilloscopeApp::start() {
+  node_.timers().start_periodic(sample_line_, config_.sample_period);
+  if (config_.with_maintenance) {
+    // Random initial phase decorrelates maintenance from sampling.
+    sim::Cycle phase = static_cast<sim::Cycle>(
+        rng_.below(config_.maintenance_period));
+    node_.timers().start_periodic(maintenance_line_,
+                                  config_.maintenance_period,
+                                  config_.maintenance_period + phase);
+  }
+}
+
+}  // namespace sent::apps

@@ -1,0 +1,308 @@
+#include "apps/scenarios.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "apps/sink.hpp"
+#include "net/topology.hpp"
+#include "util/assert.hpp"
+
+namespace sent::apps {
+
+// ------------------------------------------------------------- case I
+
+std::uint64_t Case1Result::total_pollutions() const {
+  std::uint64_t n = 0;
+  for (const auto& run : runs) n += run.pollutions;
+  return n;
+}
+
+Case1Result run_case1(const Case1Config& config) {
+  SENT_REQUIRE(!config.sample_periods_ms.empty());
+  SENT_REQUIRE(config.run_seconds > 0);
+  Case1Result result;
+  util::Rng master(config.seed);
+
+  for (std::size_t r = 0; r < config.sample_periods_ms.size(); ++r) {
+    double d_ms = config.sample_periods_ms[r];
+    util::Rng run_rng = master.substream("case1-run" + std::to_string(r));
+
+    sim::EventQueue queue;
+    net::Channel channel(queue, run_rng.substream("channel"));
+
+    os::Node sink_node(0, queue);
+    hw::RadioChip sink_chip(queue, sink_node.machine(), channel, 0,
+                            run_rng.substream("sink-chip"), config.radio);
+    SinkApp sink(sink_node, sink_chip);
+
+    os::Node sensor_node(1, queue);
+    hw::RadioChip sensor_chip(queue, sensor_node.machine(), channel, 1,
+                              run_rng.substream("sensor-chip"),
+                              config.radio);
+    sensor_chip.set_signal_txdone(false);  // Oscilloscope is fire-and-forget
+    hw::AdcDevice adc(queue, sensor_node.machine(),
+                      run_rng.substream("adc"));
+    adc.set_sensor(hw::make_temperature_sensor(
+        run_rng.substream("sensor-signal")));
+
+    OscilloscopeConfig osc = config.osc;
+    osc.sink = 0;
+    osc.sample_period = sim::cycles_from_millis(d_ms);
+    osc.fixed = config.fixed;
+    OscilloscopeApp app(sensor_node, adc, sensor_chip, osc,
+                        run_rng.substream("osc-app"));
+    app.start();
+
+    queue.run_until(sim::cycles_from_seconds(config.run_seconds));
+
+    Case1Run run;
+    run.sample_period_ms = d_ms;
+    run.sensor_trace = sensor_node.take_trace();
+    run.readings = app.readings();
+    run.packets_sent = app.packets_sent();
+    run.pollutions = app.pollutions();
+    run.heavy_tasks = app.heavy_tasks();
+    run.sink_received = sink.received(proto::am::kOscilloscope);
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+// ------------------------------------------------------------- case II
+
+Case2Result run_case2(const Case2Config& config) {
+  SENT_REQUIRE(config.run_seconds > 0);
+  util::Rng master(config.seed);
+  util::Rng rng = master.substream("case2");
+
+  sim::EventQueue queue;
+  net::Channel channel(queue, rng.substream("channel"));
+  if (config.gilbert_elliott) {
+    channel.set_gilbert_elliott(*config.gilbert_elliott);
+  } else if (config.loss_rate > 0.0) {
+    channel.set_loss_rate(config.loss_rate);
+  }
+
+  os::Node sink_node(0, queue);
+  hw::RadioChip sink_chip(queue, sink_node.machine(), channel, 0,
+                          rng.substream("chip0"), config.radio);
+  SinkApp sink(sink_node, sink_chip);
+
+  os::Node relay_node(1, queue);
+  hw::RadioChip relay_chip(queue, relay_node.machine(), channel, 1,
+                           rng.substream("chip1"), config.radio);
+  RelayConfig relay_config;
+  relay_config.next_hop = 0;
+  relay_config.fixed = config.fixed;
+  RelayApp relay(relay_node, relay_chip, relay_config);
+
+  os::Node source_node(2, queue);
+  hw::RadioChip source_chip(queue, source_node.machine(), channel, 2,
+                            rng.substream("chip2"), config.source_radio);
+  RandomSourceConfig src_config;
+  src_config.dst = 1;
+  src_config.mean_interval = sim::cycles_from_millis(config.mean_interval_ms);
+  RandomSourceApp source(source_node, source_chip, src_config,
+                         rng.substream("source"));
+
+  if (config.lpl.enabled) {
+    sink_chip.set_lpl(config.lpl);
+    relay_chip.set_lpl(config.lpl);
+    source_chip.set_lpl(config.lpl);
+  }
+
+  net::make_chain(channel, {0, 1, 2});
+  source.start();
+  queue.run_until(sim::cycles_from_seconds(config.run_seconds));
+
+  Case2Result result;
+  result.relay_tx_airtime = relay_chip.tx_airtime();
+  result.relay_trace = relay_node.take_trace();
+  result.source_sent = source.sent();
+  result.relay_received = relay.received();
+  result.relay_forwarded = relay.forwarded();
+  result.relay_dropped_busy = relay.dropped_busy();
+  result.sink_received = sink.received(proto::am::kForward);
+  return result;
+}
+
+// ------------------------------------------------------------- case III
+
+std::size_t Case3Result::hung_nodes() const {
+  std::size_t n = 0;
+  for (const auto& s : stats) n += s.hung;
+  return n;
+}
+
+Case3Result run_case3(const Case3Config& config) {
+  SENT_REQUIRE(config.run_seconds > 0);
+  const std::size_t n = config.rows * config.cols;
+  SENT_REQUIRE(n >= 2);
+  SENT_REQUIRE(config.num_sources >= 1 && config.num_sources < n);
+  util::Rng master(config.seed);
+  util::Rng rng = master.substream("case3");
+
+  sim::EventQueue queue;
+  net::Channel channel(queue, rng.substream("channel"));
+
+  // "We randomly select sensor nodes as sources" — any node except the
+  // root (node 0).
+  std::vector<net::NodeId> candidates;
+  for (std::size_t i = 1; i < n; ++i)
+    candidates.push_back(static_cast<net::NodeId>(i));
+  rng.shuffle(candidates);
+  std::vector<net::NodeId> sources(candidates.begin(),
+                                   candidates.begin() +
+                                       static_cast<long>(config.num_sources));
+  std::sort(sources.begin(), sources.end());
+  auto is_source = [&](net::NodeId id) {
+    return std::find(sources.begin(), sources.end(), id) != sources.end();
+  };
+
+  std::vector<std::unique_ptr<os::Node>> nodes;
+  std::vector<std::unique_ptr<hw::RadioChip>> chips;
+  std::vector<std::unique_ptr<CtpHeartbeatApp>> ctp_apps;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto id = static_cast<net::NodeId>(i);
+    nodes.push_back(std::make_unique<os::Node>(id, queue));
+    chips.push_back(std::make_unique<hw::RadioChip>(
+        queue, nodes[i]->machine(), channel, id,
+        rng.substream("chip" + std::to_string(i)), config.radio));
+    CtpHeartbeatConfig app_config = config.app;
+    app_config.is_root = (i == 0);
+    app_config.is_source = is_source(id);
+    app_config.fixed = config.fixed;
+    ctp_apps.push_back(std::make_unique<CtpHeartbeatApp>(
+        *nodes[i], *chips[i], app_config,
+        rng.substream("app" + std::to_string(i))));
+  }
+  net::make_grid(channel, config.rows, config.cols);
+  for (auto& app : ctp_apps) app->start();
+
+  queue.run_until(sim::cycles_from_seconds(config.run_seconds));
+
+  Case3Result result;
+  result.sources = sources;
+  result.report_line = ctp_apps[0]->report_line();
+  for (std::size_t i = 0; i < n; ++i) {
+    Case3NodeStats s;
+    s.id = static_cast<net::NodeId>(i);
+    s.is_source = is_source(s.id);
+    s.hung = ctp_apps[i]->ctp().hung();
+    s.send_fails = ctp_apps[i]->ctp().send_fail_events();
+    s.reports = ctp_apps[i]->reports_attempted();
+    s.heartbeats_sent = ctp_apps[i]->heartbeat().sent();
+    result.stats.push_back(s);
+    if (i == 0) result.delivered_to_root =
+        ctp_apps[i]->ctp().delivered_to_root();
+    result.traces.push_back(nodes[i]->take_trace());
+  }
+  return result;
+}
+
+// ------------------------------------------------------------- case IV
+
+std::size_t Case4Result::corrupted_nodes() const {
+  std::size_t n = 0;
+  for (const auto& s : stats) n += s.corrupted;
+  return n;
+}
+
+std::uint64_t Case4Result::total_torn() const {
+  std::uint64_t n = 0;
+  for (const auto& s : stats) n += s.torn_broadcasts;
+  return n;
+}
+
+Case4Result run_case4(const Case4Config& config) {
+  SENT_REQUIRE(config.run_seconds > 0);
+  const std::size_t n = config.rows * config.cols;
+  SENT_REQUIRE(n >= 2);
+  util::Rng master(config.seed);
+  util::Rng rng = master.substream("case4");
+
+  sim::EventQueue queue;
+  net::Channel channel(queue, rng.substream("channel"));
+
+  std::vector<std::unique_ptr<os::Node>> nodes;
+  std::vector<std::unique_ptr<hw::RadioChip>> chips;
+  std::vector<std::unique_ptr<DisseminationApp>> diss_apps;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto id = static_cast<net::NodeId>(i);
+    nodes.push_back(std::make_unique<os::Node>(id, queue));
+    chips.push_back(std::make_unique<hw::RadioChip>(
+        queue, nodes[i]->machine(), channel, id,
+        rng.substream("chip" + std::to_string(i)), config.radio));
+    DisseminationConfig app_config = config.app;
+    app_config.is_publisher = (i == 0);
+    app_config.fixed = config.fixed;
+    diss_apps.push_back(std::make_unique<DisseminationApp>(
+        *nodes[i], *chips[i], app_config,
+        rng.substream("app" + std::to_string(i))));
+  }
+  net::make_grid(channel, config.rows, config.cols);
+  for (auto& app : diss_apps) app->start();
+
+  // Environment: the publisher stages a new value at random times; track
+  // the authoritative version -> value map for ground truth.
+  std::map<std::uint16_t, std::uint16_t> published;
+  std::uint64_t injected = 0;
+  util::Rng update_rng = rng.substream("updates");
+  std::function<void()> inject = [&] {
+    auto value = static_cast<std::uint16_t>(update_rng.below(0xFFFF));
+    ++injected;
+    diss_apps[0]->inject_update(value);
+    published[static_cast<std::uint16_t>(injected)] = value;
+    sim::Cycle delay = std::max<sim::Cycle>(
+        static_cast<sim::Cycle>(update_rng.exponential(
+            config.mean_update_interval_s *
+            static_cast<double>(sim::kCyclesPerSecond))),
+        sim::cycles_from_millis(400));
+    if (queue.now() + delay <
+        sim::cycles_from_seconds(config.run_seconds) -
+            sim::cycles_from_seconds(2.0))
+      queue.schedule_after(delay, inject);
+  };
+  queue.schedule_at(sim::cycles_from_millis(500), inject);
+
+  // Environment probe: sample every node's (version, value) at 2 Hz and
+  // accumulate time spent disagreeing with the published value.
+  double corruption_node_seconds = 0.0;
+  std::function<void()> probe = [&] {
+    for (const auto& app : diss_apps) {
+      std::uint16_t v = app->version();
+      if (v == 0) continue;
+      auto it = published.find(v);
+      if (it == published.end() || it->second != app->value())
+        corruption_node_seconds += 0.5;
+    }
+    queue.schedule_after(sim::kCyclesPerSecond / 2, probe);
+  };
+  queue.schedule_at(sim::kCyclesPerSecond / 2, probe);
+
+  queue.run_until(sim::cycles_from_seconds(config.run_seconds));
+
+  Case4Result result;
+  result.corruption_node_seconds = corruption_node_seconds;
+  result.trickle_line = diss_apps[0]->trickle_line();
+  result.published_version = static_cast<std::uint16_t>(injected);
+  result.updates_injected = injected;
+  for (std::size_t i = 0; i < n; ++i) {
+    Case4NodeStats s;
+    s.id = static_cast<net::NodeId>(i);
+    s.version = diss_apps[i]->version();
+    s.value = diss_apps[i]->value();
+    auto it = published.find(s.version);
+    s.corrupted = s.version != 0 &&
+                  (it == published.end() || it->second != s.value);
+    s.summaries_sent = diss_apps[i]->summaries_sent();
+    s.adoptions = diss_apps[i]->adoptions();
+    s.torn_broadcasts = diss_apps[i]->torn_broadcasts();
+    result.stats.push_back(s);
+    result.traces.push_back(nodes[i]->take_trace());
+  }
+  return result;
+}
+
+}  // namespace sent::apps

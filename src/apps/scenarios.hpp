@@ -1,0 +1,187 @@
+// End-to-end simulation scenarios for the three case studies (§VI).
+//
+// Each run_caseN builds a fresh world (event queue, channel, nodes, devices,
+// applications), runs it for the configured virtual duration, and returns
+// the recorded node traces plus application-level ground truth. The
+// Sentomist pipeline consumes the traces; benches consume the ground truth
+// to score rankings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "apps/ctp_heartbeat.hpp"
+#include "apps/dissemination.hpp"
+#include "apps/forwarding.hpp"
+#include "apps/oscilloscope.hpp"
+#include "hw/radio_params.hpp"
+#include "trace/recorder.hpp"
+
+namespace sent::apps {
+
+// ------------------------------------------------------------- case I
+
+struct Case1Config {
+  std::uint64_t seed = 1;
+  /// The paper's five testing runs: D = 20, 40, 60, 80, 100 ms.
+  std::vector<double> sample_periods_ms = {20, 40, 60, 80, 100};
+  double run_seconds = 10.0;
+  bool fixed = false;
+  OscilloscopeConfig osc;  ///< base config; sample_period set per run
+  hw::RadioParams radio = [] {
+    hw::RadioParams p;
+    p.bits_per_second = 76800.0;  // CC1000 at its maximum rate
+    return p;
+  }();
+};
+
+struct Case1Run {
+  double sample_period_ms = 0;
+  trace::NodeTrace sensor_trace;
+  std::uint64_t readings = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t pollutions = 0;
+  std::uint64_t heavy_tasks = 0;
+  std::uint64_t sink_received = 0;
+};
+
+struct Case1Result {
+  std::vector<Case1Run> runs;
+  std::uint64_t total_pollutions() const;
+};
+
+Case1Result run_case1(const Case1Config& config);
+
+// ------------------------------------------------------------- case II
+
+struct Case2Config {
+  std::uint64_t seed = 1;
+  double run_seconds = 20.0;
+  double mean_interval_ms = 100.0;
+  bool fixed = false;
+
+  /// Channel impairments (default: clean). Gilbert-Elliott, when set,
+  /// overrides the iid loss rate.
+  double loss_rate = 0.0;
+  std::optional<net::Channel::GilbertElliott> gilbert_elliott;
+
+  /// Low-power listening on every mote (default: always-on radios).
+  hw::LplParams lpl;
+  hw::RadioParams radio = [] {
+    hw::RadioParams p;
+    p.bits_per_second = 250000.0;  // CC2420-class rate: short busy windows
+    // Firmware bookkeeping hold after each exchange: the quiet-channel
+    // window in which new arrivals hit the busy flag and get dropped.
+    p.post_tx_hold = sim::cycles_from_millis(3);
+    return p;
+  }();
+
+  /// The source mote runs leaner firmware (no post-exchange hold) so it can
+  /// emit closely-spaced packets — the random arrival process the relay
+  /// must survive.
+  hw::RadioParams source_radio = [] {
+    hw::RadioParams p;
+    p.bits_per_second = 250000.0;
+    return p;
+  }();
+};
+
+struct Case2Result {
+  trace::NodeTrace relay_trace;
+  std::uint64_t source_sent = 0;
+  std::uint64_t relay_received = 0;
+  std::uint64_t relay_forwarded = 0;
+  std::uint64_t relay_dropped_busy = 0;
+  std::uint64_t sink_received = 0;
+  sim::Cycle relay_tx_airtime = 0;  ///< for energy accounting
+};
+
+Case2Result run_case2(const Case2Config& config);
+
+// ------------------------------------------------------------- case III
+
+struct Case3Config {
+  std::uint64_t seed = 1;
+  double run_seconds = 15.0;
+  std::size_t rows = 3, cols = 3;  ///< 9 nodes, root = node 0
+  std::size_t num_sources = 4;
+  bool fixed = false;
+  CtpHeartbeatConfig app;  ///< base; role flags set per node
+  hw::RadioParams radio = [] {
+    hw::RadioParams p;
+    p.bits_per_second = 100000.0;
+    return p;
+  }();
+};
+
+struct Case3NodeStats {
+  net::NodeId id = 0;
+  bool is_source = false;
+  bool hung = false;
+  std::uint64_t send_fails = 0;
+  std::uint64_t reports = 0;
+  std::uint64_t heartbeats_sent = 0;
+};
+
+struct Case3Result {
+  std::vector<trace::NodeTrace> traces;  ///< indexed by node id
+  std::vector<net::NodeId> sources;
+  trace::IrqLine report_line = 0;
+  std::vector<Case3NodeStats> stats;  ///< indexed by node id
+  std::uint64_t delivered_to_root = 0;
+  std::size_t hung_nodes() const;
+};
+
+Case3Result run_case3(const Case3Config& config);
+
+// ------------------------------------------------------------- case IV
+// (extension: Trickle dissemination with the torn-update bug)
+
+struct Case4Config {
+  std::uint64_t seed = 1;
+  double run_seconds = 60.0;
+  std::size_t rows = 3, cols = 3;  ///< node 0 publishes
+  double mean_update_interval_s = 3.0;
+  bool fixed = false;
+  DisseminationConfig app = [] {
+    DisseminationConfig c;
+    c.flash_commit_iterations = 12;  // ~2.5 ms tear window
+    return c;
+  }();  ///< base; is_publisher set per node
+  hw::RadioParams radio = [] {
+    hw::RadioParams p;
+    p.bits_per_second = 100000.0;
+    return p;
+  }();
+};
+
+struct Case4NodeStats {
+  net::NodeId id = 0;
+  std::uint16_t version = 0;
+  std::uint16_t value = 0;
+  bool corrupted = false;  ///< value != the published value for version
+  std::uint64_t summaries_sent = 0;
+  std::uint64_t adoptions = 0;
+  std::uint64_t torn_broadcasts = 0;
+};
+
+struct Case4Result {
+  std::vector<trace::NodeTrace> traces;  ///< indexed by node id
+  trace::IrqLine trickle_line = 0;
+  std::vector<Case4NodeStats> stats;     ///< indexed by node id
+  std::uint16_t published_version = 0;
+  std::uint64_t updates_injected = 0;
+  /// Integrated damage: node-seconds spent holding a value that disagrees
+  /// with the published value for the node's own version (sampled at 2 Hz
+  /// by the environment). A torn adoption corrupts a node until the NEXT
+  /// version sweeps through, so the exposure accumulates even though the
+  /// end-of-run snapshot usually looks clean.
+  double corruption_node_seconds = 0.0;
+  std::size_t corrupted_nodes() const;  ///< at end of run
+  std::uint64_t total_torn() const;
+};
+
+Case4Result run_case4(const Case4Config& config);
+
+}  // namespace sent::apps

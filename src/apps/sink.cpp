@@ -1,0 +1,29 @@
+#include "apps/sink.hpp"
+
+namespace sent::apps {
+
+SinkApp::SinkApp(os::Node& node, hw::RadioChip& chip)
+    : node_(node), chip_(chip) {
+  chip_.set_signal_txdone(false);  // the sink never transmits data frames
+  mcu::CodeBuilder b("Sink.SpiHandler", /*is_task=*/false);
+  b.label("top");
+  b.ret_if("empty", [this] { return !chip_.has_event(); });
+  b.instr("take", [this] { event_ = chip_.take_event(); });
+  b.instr("count", [this] {
+    if (event_.kind == hw::RadioChip::Event::Kind::RxDone) {
+      ++by_type_[event_.packet.am_type];
+      ++total_;
+      packets_.push_back(event_.packet);
+    }
+  });
+  b.jump("loop", "top");
+  mcu::CodeId id = b.build(node_.program());
+  node_.machine().register_handler(os::irq::kRadioSpi, id);
+}
+
+std::uint64_t SinkApp::received(std::uint8_t am_type) const {
+  auto it = by_type_.find(am_type);
+  return it == by_type_.end() ? 0 : it->second;
+}
+
+}  // namespace sent::apps

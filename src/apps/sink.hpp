@@ -1,0 +1,36 @@
+// Data sink application: drains radio events and counts received payloads
+// per active-message type. Used as node 0 in case studies I and II.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hw/radio.hpp"
+#include "os/node.hpp"
+
+namespace sent::apps {
+
+class SinkApp {
+ public:
+  SinkApp(os::Node& node, hw::RadioChip& chip);
+
+  SinkApp(const SinkApp&) = delete;
+  SinkApp& operator=(const SinkApp&) = delete;
+
+  std::uint64_t received(std::uint8_t am_type) const;
+  std::uint64_t received_total() const { return total_; }
+
+  /// All received packets, in arrival order (tests inspect payloads).
+  const std::vector<net::Packet>& packets() const { return packets_; }
+
+ private:
+  os::Node& node_;
+  hw::RadioChip& chip_;
+  hw::RadioChip::Event event_{};
+  std::map<std::uint8_t, std::uint64_t> by_type_;
+  std::uint64_t total_ = 0;
+  std::vector<net::Packet> packets_;
+};
+
+}  // namespace sent::apps

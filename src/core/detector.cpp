@@ -1,0 +1,27 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sent::core {
+
+std::vector<RankedSample> rank_ascending(const std::vector<double>& scores) {
+  std::vector<RankedSample> ranked(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    ranked[i] = {i, scores[i]};
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedSample& a, const RankedSample& b) {
+                     return a.score < b.score;
+                   });
+  return ranked;
+}
+
+void normalize_scores(std::vector<double>& scores) {
+  double max_score = 0.0;
+  for (double s : scores) max_score = std::max(max_score, s);
+  if (max_score <= 0.0) return;
+  for (double& s : scores) s /= max_score;
+}
+
+}  // namespace sent::core

@@ -1,0 +1,44 @@
+// Outlier-detector plug-in interface and score ranking (paper §V-C).
+//
+// Sentomist treats the detector as a plug-in: "one-class SVM is not the
+// sole option ... Sentomist can actually plug in these outlier detection
+// algorithms conveniently." Implementations live in src/ml.
+//
+// Score convention (the paper's): the score is a signed distance to the
+// normal-region boundary — positive on the normal side, negative on the
+// outlier side. LOWER SCORES ARE MORE SUSPICIOUS, so the ascending ranking
+// is the manual-inspection priority order.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sent::core {
+
+class OutlierDetector {
+ public:
+  virtual ~OutlierDetector() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Score every row (lower = more suspicious). rows must be non-empty and
+  /// rectangular.
+  virtual std::vector<double> score(
+      const std::vector<std::vector<double>>& rows) = 0;
+};
+
+struct RankedSample {
+  std::size_t index;  ///< row index in the feature matrix
+  double score;
+};
+
+/// Ascending by score; ties broken by original index (stable).
+std::vector<RankedSample> rank_ascending(const std::vector<double>& scores);
+
+/// The paper's Figure-5 normalization (footnote 5): scale so the largest
+/// positive score is exactly 1. No-op when no score is positive.
+void normalize_scores(std::vector<double>& scores);
+
+}  // namespace sent::core

@@ -1,0 +1,114 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace sent::core {
+
+namespace {
+
+// Iterate the instruction executions falling inside [start, end] and call
+// `fn(instr_id)` for each. The instruction stream is chronological, so a
+// binary search bounds the scan.
+template <typename Fn>
+void for_instrs_in_window(const trace::NodeTrace& trace,
+                          const EventInterval& interval, Fn&& fn) {
+  const auto& instrs = trace.instrs;
+  auto lo = std::lower_bound(
+      instrs.begin(), instrs.end(), interval.start_cycle,
+      [](const trace::InstrExec& e, sim::Cycle c) { return e.cycle < c; });
+  for (auto it = lo; it != instrs.end() && it->cycle <= interval.end_cycle;
+       ++it) {
+    fn(it->instr);
+  }
+}
+
+}  // namespace
+
+FeatureMatrix instruction_counters(
+    const trace::NodeTrace& trace, std::span<const EventInterval> intervals) {
+  SENT_REQUIRE_MSG(!trace.instr_table.empty(),
+                   "trace has no instruction table");
+  FeatureMatrix m;
+  m.names.reserve(trace.instr_table.size());
+  for (const auto& meta : trace.instr_table)
+    m.names.push_back(meta.code_object + "/" + meta.name);
+
+  m.rows.reserve(intervals.size());
+  for (const auto& interval : intervals) {
+    std::vector<double> row(trace.instr_table.size(), 0.0);
+    for_instrs_in_window(trace, interval, [&](trace::InstrId id) {
+      SENT_ASSERT(id < row.size());
+      row[id] += 1.0;
+    });
+    m.rows.push_back(std::move(row));
+  }
+  return m;
+}
+
+FeatureMatrix coarse_features(const trace::NodeTrace& trace,
+                              std::span<const EventInterval> intervals) {
+  FeatureMatrix m;
+  m.names = {"duration_cycles", "instr_executed", "task_count",
+             "posts_in_window", "ints_in_window"};
+  m.rows.reserve(intervals.size());
+  for (const auto& interval : intervals) {
+    double instr_executed = 0;
+    for_instrs_in_window(trace, interval,
+                         [&](trace::InstrId) { instr_executed += 1.0; });
+    double posts = 0, ints = 0;
+    for (std::size_t i = interval.start_index;
+         i <= interval.end_index && i < trace.lifecycle.size(); ++i) {
+      const auto& item = trace.lifecycle[i];
+      posts += item.kind == trace::LifecycleKind::PostTask;
+      ints += item.kind == trace::LifecycleKind::Int;
+    }
+    m.rows.push_back({static_cast<double>(interval.duration()),
+                      instr_executed,
+                      static_cast<double>(interval.task_count), posts,
+                      ints});
+  }
+  return m;
+}
+
+FeatureMatrix code_object_counters(
+    const trace::NodeTrace& trace, std::span<const EventInterval> intervals) {
+  SENT_REQUIRE_MSG(!trace.instr_table.empty(),
+                   "trace has no instruction table");
+  // Column per distinct code object, in order of first appearance.
+  std::vector<std::string> objects;
+  std::map<std::string, std::size_t> column;
+  std::vector<std::size_t> instr_to_column(trace.instr_table.size());
+  for (std::size_t i = 0; i < trace.instr_table.size(); ++i) {
+    const std::string& name = trace.instr_table[i].code_object;
+    auto [it, inserted] = column.try_emplace(name, objects.size());
+    if (inserted) objects.push_back(name);
+    instr_to_column[i] = it->second;
+  }
+
+  FeatureMatrix m;
+  m.names = objects;
+  m.rows.reserve(intervals.size());
+  for (const auto& interval : intervals) {
+    std::vector<double> row(objects.size(), 0.0);
+    for_instrs_in_window(trace, interval, [&](trace::InstrId id) {
+      row[instr_to_column[id]] += 1.0;
+    });
+    m.rows.push_back(std::move(row));
+  }
+  return m;
+}
+
+void append_rows(FeatureMatrix& base, const FeatureMatrix& other) {
+  if (base.names.empty() && base.rows.empty()) {
+    base = other;
+    return;
+  }
+  SENT_REQUIRE_MSG(base.names == other.names,
+                   "FeatureMatrix column layouts differ");
+  base.rows.insert(base.rows.end(), other.rows.begin(), other.rows.end());
+}
+
+}  // namespace sent::core

@@ -1,0 +1,50 @@
+// Interval featurization (paper §V-B).
+//
+// The primary abstraction is the INSTRUCTION COUNTER (Definition 4): a
+// vector of N elements, N = total static instructions in the node program,
+// whose i-th element is the number of times instruction i executed during
+// the interval's wall-clock window. Counting over the window — including
+// instructions contributed by *other* instances that interleave into it —
+// is what makes buggy interleavings visible.
+//
+// Two cheaper abstractions are provided for the feature-ablation bench:
+// coarse scalar features and per-code-object (function-level) counters.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/anatomizer.hpp"
+#include "trace/recorder.hpp"
+
+namespace sent::core {
+
+struct FeatureMatrix {
+  std::vector<std::string> names;          ///< one per column
+  std::vector<std::vector<double>> rows;   ///< one per interval
+
+  std::size_t dim() const { return names.size(); }
+  std::size_t size() const { return rows.size(); }
+};
+
+/// Definition 4: one instruction-counter row per interval. Column i
+/// corresponds to static instruction i of the trace's program.
+FeatureMatrix instruction_counters(const trace::NodeTrace& trace,
+                                   std::span<const EventInterval> intervals);
+
+/// Ablation: scalar summary features (duration, executed instructions,
+/// tasks, posts, preempting interrupts within the window).
+FeatureMatrix coarse_features(const trace::NodeTrace& trace,
+                              std::span<const EventInterval> intervals);
+
+/// Ablation: execution counts aggregated per code object — roughly the
+/// function-level granularity of Dustminer-style logging.
+FeatureMatrix code_object_counters(const trace::NodeTrace& trace,
+                                   std::span<const EventInterval> intervals);
+
+/// Append `other`'s rows to `base` (column layouts must match). Used to
+/// pool intervals from several nodes running the same program image.
+void append_rows(FeatureMatrix& base, const FeatureMatrix& other);
+
+}  // namespace sent::core

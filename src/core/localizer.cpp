@@ -1,0 +1,89 @@
+#include "core/localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/detector.hpp"
+#include "util/assert.hpp"
+
+namespace sent::core {
+
+std::vector<bool> lowest_k(const std::vector<double>& scores,
+                           std::size_t k) {
+  SENT_REQUIRE(k >= 1);
+  SENT_REQUIRE(k < scores.size());
+  auto ranked = rank_ascending(scores);
+  std::vector<bool> flags(scores.size(), false);
+  for (std::size_t pos = 0; pos < k; ++pos)
+    flags[ranked[pos].index] = true;
+  return flags;
+}
+
+Localization localize(const FeatureMatrix& matrix,
+                      const std::vector<bool>& suspicious) {
+  SENT_REQUIRE(matrix.size() == suspicious.size());
+  std::size_t n_suspicious = 0;
+  for (bool b : suspicious) n_suspicious += b;
+  SENT_REQUIRE_MSG(n_suspicious >= 1 && n_suspicious < matrix.size(),
+                   "need at least one suspicious and one normal sample");
+
+  const std::size_t d = matrix.dim();
+  const auto n_normal =
+      static_cast<double>(matrix.size() - n_suspicious);
+
+  // Per-column means of the two groups and variance of the normal group.
+  std::vector<double> mean_s(d, 0.0), mean_n(d, 0.0), var_n(d, 0.0);
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    auto& target = suspicious[r] ? mean_s : mean_n;
+    for (std::size_t j = 0; j < d; ++j) target[j] += matrix.rows[r][j];
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    mean_s[j] /= static_cast<double>(n_suspicious);
+    mean_n[j] /= n_normal;
+  }
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    if (suspicious[r]) continue;
+    for (std::size_t j = 0; j < d; ++j) {
+      double delta = matrix.rows[r][j] - mean_n[j];
+      var_n[j] += delta * delta;
+    }
+  }
+
+  Localization out;
+  out.instructions.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double sd = std::sqrt(var_n[j] / std::max(n_normal - 1.0, 1.0));
+    // Floor the spread so constant-in-normal instructions that light up in
+    // suspicious intervals get large but finite scores.
+    sd = std::max(sd, 0.1);
+    InstructionSuspicion s;
+    s.instr = j;
+    s.name = j < matrix.names.size() ? matrix.names[j] : "";
+    s.suspicious_mean = mean_s[j];
+    s.normal_mean = mean_n[j];
+    s.score = std::abs(mean_s[j] - mean_n[j]) / sd;
+    out.instructions.push_back(std::move(s));
+  }
+  std::stable_sort(out.instructions.begin(), out.instructions.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.score > b.score;
+                   });
+
+  // Aggregate to code objects ("object/mnemonic" naming).
+  std::map<std::string, double> by_object;
+  for (const auto& instr : out.instructions) {
+    std::string object = instr.name.substr(0, instr.name.find('/'));
+    auto [it, inserted] = by_object.try_emplace(object, instr.score);
+    if (!inserted) it->second = std::max(it->second, instr.score);
+  }
+  for (const auto& [object, score] : by_object)
+    out.code_objects.push_back({object, score});
+  std::stable_sort(out.code_objects.begin(), out.code_objects.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+}  // namespace sent::core

@@ -1,0 +1,52 @@
+// Symptom-to-code localization (the paper's §VII future work: "extending
+// Sentomist for achieving bug localization, i.e., locating bugs in source
+// code level, by adopting the symptom-mining approach to correlate bug
+// symptoms with source codes").
+//
+// Given the feature matrix (instruction counters) and the detector's
+// ranking, the localizer contrasts the suspicious intervals against the
+// normal ones per static instruction: instructions whose execution counts
+// differ most (standardized mean difference, i.e. Cohen's d against the
+// normal population's spread) are the code the symptom lives in. Scores
+// aggregate to code objects, giving a "inspect these functions first"
+// list to go with the "inspect these intervals first" ranking.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+
+namespace sent::core {
+
+struct InstructionSuspicion {
+  std::size_t instr = 0;     ///< column / static instruction id
+  std::string name;          ///< "codeObject/mnemonic"
+  double score = 0.0;        ///< |standardized mean difference|, >= 0
+  double suspicious_mean = 0.0;
+  double normal_mean = 0.0;
+};
+
+struct CodeObjectSuspicion {
+  std::string code_object;
+  double score = 0.0;  ///< max suspicion over the object's instructions
+};
+
+struct Localization {
+  /// Per-instruction suspicion, descending by score.
+  std::vector<InstructionSuspicion> instructions;
+  /// Per-code-object suspicion, descending by score.
+  std::vector<CodeObjectSuspicion> code_objects;
+};
+
+/// Contrast the rows flagged `suspicious[i] == true` against the rest.
+/// `matrix` must be the instruction-counter matrix (names formatted
+/// "object/mnemonic"); at least one row on each side is required.
+Localization localize(const FeatureMatrix& matrix,
+                      const std::vector<bool>& suspicious);
+
+/// Convenience: flag the k lowest-scored rows as suspicious.
+std::vector<bool> lowest_k(const std::vector<double>& scores, std::size_t k);
+
+}  // namespace sent::core

@@ -1,0 +1,48 @@
+#include "hw/adc.hpp"
+
+#include "util/assert.hpp"
+
+namespace sent::hw {
+
+AdcDevice::AdcDevice(sim::EventQueue& queue, mcu::Machine& machine,
+                     util::Rng rng)
+    : queue_(queue),
+      machine_(machine),
+      rng_(rng),
+      sensor_(make_constant_sensor(0)),
+      mean_latency_(sim::cycles_from_micros(200)),
+      jitter_(sim::cycles_from_micros(40)) {}
+
+void AdcDevice::set_sensor(SensorFn sensor) {
+  SENT_REQUIRE(sensor != nullptr);
+  sensor_ = std::move(sensor);
+}
+
+void AdcDevice::set_conversion_time(sim::Cycle mean, sim::Cycle jitter) {
+  SENT_REQUIRE(mean > 0);
+  SENT_REQUIRE(jitter <= mean);
+  mean_latency_ = mean;
+  jitter_ = jitter;
+}
+
+bool AdcDevice::request_read() {
+  if (busy_) {
+    ++dropped_;
+    return false;
+  }
+  busy_ = true;
+  sim::Cycle latency = mean_latency_;
+  if (jitter_ > 0) {
+    latency = mean_latency_ - jitter_ +
+              static_cast<sim::Cycle>(rng_.below(2 * jitter_ + 1));
+  }
+  queue_.schedule_after(latency, [this] {
+    busy_ = false;
+    value_ = sensor_(queue_.now());
+    ++conversions_;
+    machine_.raise_irq(os::irq::kAdc);
+  });
+  return true;
+}
+
+}  // namespace sent::hw

@@ -1,0 +1,53 @@
+// ADC device.
+//
+// The application requests a conversion (Read.read in TinyOS); after the
+// conversion time (plus small jitter) the chip latches a sensor reading and
+// raises the ADC data-ready interrupt — the event type of case study I.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/sensor.hpp"
+#include "mcu/machine.hpp"
+#include "os/irq.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace sent::hw {
+
+class AdcDevice {
+ public:
+  AdcDevice(sim::EventQueue& queue, mcu::Machine& machine, util::Rng rng);
+
+  void set_sensor(SensorFn sensor);
+
+  /// Mean conversion latency (default ~200 us) and uniform jitter bound.
+  void set_conversion_time(sim::Cycle mean, sim::Cycle jitter);
+
+  /// Start a conversion. Ignored (returns false) if one is in flight —
+  /// real ADCs drop overlapping requests.
+  bool request_read();
+
+  /// Latched reading; valid from the data-ready interrupt until the next
+  /// conversion completes.
+  std::uint16_t value() const { return value_; }
+
+  bool busy() const { return busy_; }
+
+  std::uint64_t conversions() const { return conversions_; }
+  std::uint64_t dropped_requests() const { return dropped_; }
+
+ private:
+  sim::EventQueue& queue_;
+  mcu::Machine& machine_;
+  util::Rng rng_;
+  SensorFn sensor_;
+  sim::Cycle mean_latency_;
+  sim::Cycle jitter_;
+  bool busy_ = false;
+  std::uint16_t value_ = 0;
+  std::uint64_t conversions_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sent::hw

@@ -1,0 +1,69 @@
+// Radio chip timing parameters.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace sent::hw {
+
+struct RadioParams {
+  /// Effective over-the-air bit rate. CC1000 on Mica2 is 19.2 kbps; the
+  /// case-study scenarios that need shorter busy windows configure a
+  /// 250 kbps (CC2420-class) rate instead.
+  double bits_per_second = 19200.0;
+
+  /// CSMA backoff slot; a backoff draws uniformly 1..16 slots.
+  sim::Cycle backoff_slot = sim::cycles_from_micros(300);
+  std::uint32_t max_backoff_slots = 16;
+
+  /// Give up carrier-sensing after this many busy CCA checks.
+  std::uint32_t max_cca_attempts = 24;
+
+  /// RTS attempts (each preceded by CSMA) before reporting NoCts.
+  std::uint32_t max_rts_retries = 3;
+
+  /// DATA attempts awaiting ACK before reporting NoAck.
+  std::uint32_t max_data_retries = 3;
+
+  /// RX->TX turnaround before automatic CTS/ACK responses.
+  sim::Cycle turnaround = sim::cycles_from_micros(200);
+
+  /// Extra slack added to CTS/ACK wait deadlines.
+  sim::Cycle timeout_slack = sim::cycles_from_micros(500);
+
+  /// How long the busy flag stays set after a transmission finishes,
+  /// modelling the firmware's post-exchange SPI/bookkeeping work. During
+  /// the hold the channel is quiet but send() still fails — the window in
+  /// which case study II's arrivals get actively dropped.
+  sim::Cycle post_tx_hold = 0;
+
+  /// Airtime of a frame of `bytes` bytes at this bit rate.
+  sim::Cycle airtime(std::size_t bytes) const {
+    double seconds = static_cast<double>(bytes) * 8.0 / bits_per_second;
+    sim::Cycle c = sim::cycles_from_seconds(seconds);
+    return c > 0 ? c : 1;
+  }
+};
+
+/// Low-power listening (BoX-MAC-2 style duty cycling). The receiver wakes
+/// for `on_duration` every `wake_interval` and sleeps otherwise; a sender
+/// repeats its data frame back-to-back for a full wake interval so every
+/// neighbour's wake window overlaps at least one repetition (unicast
+/// trains stop early when the ACK arrives). RTS/CTS is not used in LPL
+/// mode — the repetition train itself serializes the medium.
+struct LplParams {
+  bool enabled = false;
+  sim::Cycle wake_interval = sim::cycles_from_millis(100);
+  sim::Cycle on_duration = sim::cycles_from_millis(6);
+  /// Stay-awake extension after hearing or sending traffic.
+  sim::Cycle afterglow = sim::cycles_from_millis(10);
+
+  /// Listening duty cycle (fraction of time the receiver is on when idle).
+  double duty_cycle() const {
+    return static_cast<double>(on_duration) /
+           static_cast<double>(wake_interval);
+  }
+};
+
+}  // namespace sent::hw

@@ -1,0 +1,153 @@
+#include "mcu/machine.hpp"
+
+#include "util/assert.hpp"
+
+namespace sent::mcu {
+
+Machine::Machine(sim::EventQueue& queue, trace::Recorder& recorder,
+                 const Program& program)
+    : queue_(queue), recorder_(recorder), program_(program) {}
+
+void Machine::set_task_provider(TaskProvider* provider) {
+  SENT_REQUIRE(provider != nullptr);
+  provider_ = provider;
+}
+
+void Machine::register_handler(trace::IrqLine line, CodeId handler) {
+  SENT_REQUIRE(line < handlers_.size());
+  SENT_REQUIRE_MSG(handlers_[line] == kNoHandler,
+                   "line " << int(line) << " already has a handler");
+  SENT_REQUIRE_MSG(!program_.code(handler).is_task,
+                   "cannot bind a task as an interrupt handler");
+  handlers_[line] = handler;
+}
+
+void Machine::raise_irq(trace::IrqLine line) {
+  SENT_REQUIRE(line < 64);
+  SENT_REQUIRE_MSG(handlers_[line] != kNoHandler,
+                   "IRQ raised on unbound line " << int(line));
+  pending_ |= (1ULL << line);
+  // If this raise happens from inside an executing instruction, the current
+  // step schedules its own continuation and will see the pending bit there.
+  if (!step_scheduled_ && !in_step_) schedule_step(costs_.wakeup);
+}
+
+void Machine::notify_task_posted() {
+  if (!step_scheduled_ && !in_step_) schedule_step(costs_.wakeup);
+}
+
+void Machine::disable_interrupts() { ++atomic_depth_; }
+
+void Machine::enable_interrupts() {
+  SENT_REQUIRE_MSG(atomic_depth_ > 0,
+                   "enable_interrupts without matching disable");
+  --atomic_depth_;
+  // Pending lines latched during the atomic section get delivered at the
+  // next step boundary; make sure one is scheduled if we are between
+  // steps (enable from outside an instruction is unusual but legal).
+  if (atomic_depth_ == 0 && pending_ != 0 && !step_scheduled_ && !in_step_)
+    schedule_step(costs_.wakeup);
+}
+
+bool Machine::sleeping() const {
+  return frames_.empty() && pending_ == 0 && !step_scheduled_;
+}
+
+void Machine::schedule_step(std::uint32_t delay) {
+  SENT_ASSERT(!step_scheduled_);
+  step_scheduled_ = true;
+  queue_.schedule_after(delay, [this] {
+    step_scheduled_ = false;
+    step();
+  });
+}
+
+int Machine::deliverable_irq() const {
+  if (pending_ == 0 || atomic_depth_ > 0) return -1;
+  bool in_handler = !frames_.empty() && frames_.back().is_handler;
+  int ceiling = 64;  // lines strictly below this may be delivered
+  if (in_handler) {
+    if (nesting_ == NestingPolicy::None) return -1;
+    ceiling = frames_.back().line;  // only strictly higher priority nests
+  }
+  for (int line = 0; line < ceiling; ++line) {
+    if (pending_ & (1ULL << line)) return line;
+  }
+  return -1;
+}
+
+void Machine::step() {
+  struct StepGuard {
+    bool& flag;
+    explicit StepGuard(bool& f) : flag(f) { flag = true; }
+    ~StepGuard() { flag = false; }
+  } guard(in_step_);
+
+  // 1. Interrupt delivery wins over everything (Rule 2).
+  if (int line = deliverable_irq(); line >= 0) {
+    pending_ &= ~(1ULL << line);
+    ++ints_delivered_;
+    recorder_.on_int(queue_.now(), static_cast<trace::IrqLine>(line));
+    frames_.push_back(Frame{handlers_[static_cast<std::size_t>(line)], 0,
+                            /*is_handler=*/true,
+                            static_cast<trace::IrqLine>(line), 0});
+    schedule_step(costs_.int_entry);
+    return;
+  }
+
+  // 2. Execute / retire the active frame.
+  if (!frames_.empty()) {
+    Frame& frame = frames_.back();
+    const CodeObject& code = program_.code(frame.code);
+    if (frame.pc >= code.instrs.size()) {
+      // Frame retired.
+      if (frame.is_handler) {
+        recorder_.on_reti(queue_.now(), frame.line);
+        frames_.pop_back();
+        schedule_step(costs_.reti);
+      } else {
+        recorder_.on_task_end(frame.run_item_index, queue_.now());
+        frames_.pop_back();
+        schedule_step(costs_.task_ret);
+      }
+      return;
+    }
+    const Instr& instr = code.instrs[frame.pc];
+    recorder_.on_instr(queue_.now(), instr.global_id);
+    StepAction action = instr.fn();
+    // NOTE: instr.fn may post tasks or raise IRQs (via devices) but cannot
+    // mutate the frame stack; `frame` stays valid.
+    switch (action.kind) {
+      case StepAction::Kind::Next:
+        ++frame.pc;
+        break;
+      case StepAction::Kind::Jump:
+        SENT_ASSERT_MSG(action.target < code.instrs.size(),
+                        "jump target out of range in " << code.name);
+        frame.pc = action.target;
+        break;
+      case StepAction::Kind::Return:
+        frame.pc = static_cast<std::uint32_t>(code.instrs.size());
+        break;
+    }
+    schedule_step(instr.cost);
+    return;
+  }
+
+  // 3. No frame: start the next task (Rule 3, FIFO).
+  SENT_ASSERT_MSG(provider_ != nullptr, "machine has no task provider");
+  if (provider_->has_task()) {
+    auto [task, code_id] = provider_->pop_task();
+    SENT_ASSERT_MSG(program_.code(code_id).is_task,
+                    "task queue yielded a non-task code object");
+    std::size_t run_idx = recorder_.on_run_task(queue_.now(), task);
+    frames_.push_back(
+        Frame{code_id, 0, /*is_handler=*/false, 0, run_idx});
+    schedule_step(costs_.run_task);
+    return;
+  }
+
+  // 4. Nothing to do: sleep. A raise_irq / notify_task_posted wakes us.
+}
+
+}  // namespace sent::mcu

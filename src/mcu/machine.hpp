@@ -1,0 +1,131 @@
+// The virtual MCU.
+//
+// Implements the paper's three concurrency rules (§III):
+//   Rule 1 — an interrupt handler is triggered only by its own hardware
+//            interrupt line;
+//   Rule 2 — handlers and tasks run to completion unless preempted by
+//            (other) interrupt handlers;
+//   Rule 3 — tasks are posted by handlers or other tasks and executed FIFO.
+//
+// Execution is driven by the shared discrete-event queue: each machine step
+// (deliver an interrupt, execute one instruction, start a task, retire a
+// frame) is one event, and its cycle cost delays the next step. Devices
+// raise interrupt lines asynchronously; a raised line is delivered at the
+// next step boundary if the preemption rule allows, otherwise it stays
+// pending. A sleeping machine (no frames, no runnable task) schedules
+// nothing and is woken by raise_irq / notify_task_posted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mcu/program.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/recorder.hpp"
+
+namespace sent::mcu {
+
+/// Source of runnable tasks; implemented by the OS kernel (FIFO queue).
+class TaskProvider {
+ public:
+  virtual ~TaskProvider() = default;
+  virtual bool has_task() = 0;
+  /// Pop the next task FIFO; also returns its code object.
+  virtual std::pair<trace::TaskId, CodeId> pop_task() = 0;
+};
+
+/// Whether interrupt handlers may nest.
+enum class NestingPolicy {
+  HigherPriority,  ///< a strictly lower-numbered line preempts a handler
+  None,            ///< handlers never preempt handlers
+};
+
+/// Fixed micro-costs of machine operations, in cycles (AVR-flavoured).
+struct MachineCosts {
+  std::uint32_t int_entry = 4;   ///< vector dispatch into a handler
+  std::uint32_t reti = 4;        ///< return from interrupt
+  std::uint32_t run_task = 6;    ///< scheduler dequeue + call
+  std::uint32_t task_ret = 2;    ///< task frame retirement
+  std::uint32_t wakeup = 4;      ///< leave sleep mode
+};
+
+class Machine {
+ public:
+  Machine(sim::EventQueue& queue, trace::Recorder& recorder,
+          const Program& program);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Install the kernel's task queue. Must be set before run.
+  void set_task_provider(TaskProvider* provider);
+
+  /// Bind an interrupt line to its (non-task) handler code object.
+  /// Rule 1: one handler per line, one line per handler binding.
+  void register_handler(trace::IrqLine line, CodeId handler);
+
+  /// Device-facing: raise an interrupt line. Latched until delivered; a
+  /// second raise while latched is absorbed (level-triggered latch), which
+  /// mirrors a real IRQ flag register.
+  void raise_irq(trace::IrqLine line);
+
+  /// Kernel-facing: a task was posted; wake the machine if sleeping.
+  void notify_task_posted();
+
+  /// Atomic sections (AVR cli/sei): while interrupts are disabled, raised
+  /// lines stay pending and are delivered when re-enabled. Call from
+  /// instruction bodies to model nesC `atomic` blocks. Disabling is
+  /// counted so nested atomic sections compose.
+  void disable_interrupts();
+  void enable_interrupts();
+  bool interrupts_enabled() const { return atomic_depth_ == 0; }
+
+  void set_nesting(NestingPolicy policy) { nesting_ = policy; }
+  void set_costs(const MachineCosts& costs) { costs_ = costs; }
+
+  /// True when the machine has no active frame, no pending IRQ and no
+  /// scheduled step (i.e. the MCU is in a sleep state).
+  bool sleeping() const;
+
+  /// Depth of the frame stack (0 = idle/sleeping, 1 = task or handler,
+  /// >1 = nested preemption). Exposed for tests.
+  std::size_t frame_depth() const { return frames_.size(); }
+
+  /// Number of interrupt deliveries so far (tests/benches).
+  std::uint64_t interrupts_delivered() const { return ints_delivered_; }
+
+ private:
+  struct Frame {
+    CodeId code;
+    std::uint32_t pc = 0;
+    bool is_handler = false;
+    trace::IrqLine line = 0;          // handlers only
+    std::size_t run_item_index = 0;   // tasks only: recorder patch handle
+  };
+
+  sim::EventQueue& queue_;
+  trace::Recorder& recorder_;
+  const Program& program_;
+  TaskProvider* provider_ = nullptr;
+  NestingPolicy nesting_ = NestingPolicy::HigherPriority;
+  MachineCosts costs_;
+
+  std::vector<Frame> frames_;
+  std::uint64_t pending_ = 0;  // bitmask of raised lines (max 64 lines)
+  std::vector<CodeId> handlers_ = std::vector<CodeId>(64, kNoHandler);
+  bool step_scheduled_ = false;
+  bool in_step_ = false;  // step() will schedule its own continuation
+  std::uint32_t atomic_depth_ = 0;
+  std::uint64_t ints_delivered_ = 0;
+
+  static constexpr CodeId kNoHandler = ~CodeId{0};
+
+  void schedule_step(std::uint32_t delay);
+  void step();
+
+  /// Lowest-numbered pending line deliverable under the preemption rule,
+  /// or -1 if none.
+  int deliverable_irq() const;
+};
+
+}  // namespace sent::mcu

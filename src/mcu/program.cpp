@@ -1,0 +1,121 @@
+#include "mcu/program.hpp"
+
+#include "util/assert.hpp"
+
+namespace sent::mcu {
+
+CodeId Program::add(CodeObject code) {
+  SENT_REQUIRE_MSG(!by_name_.count(code.name),
+                   "duplicate code object name: " << code.name);
+  SENT_REQUIRE_MSG(!code.instrs.empty(),
+                   "code object " << code.name << " has no instructions");
+  CodeId id = static_cast<CodeId>(codes_.size());
+  for (auto& instr : code.instrs) {
+    SENT_REQUIRE_MSG(instr.fn != nullptr,
+                     "null instruction fn in " << code.name);
+    instr.global_id = static_cast<trace::InstrId>(instr_table_.size());
+    instr_table_.push_back({code.name, instr.name, instr.cost});
+  }
+  by_name_[code.name] = id;
+  codes_.push_back(std::move(code));
+  return id;
+}
+
+const CodeObject& Program::code(CodeId id) const {
+  SENT_REQUIRE(id < codes_.size());
+  return codes_[id];
+}
+
+CodeId Program::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  SENT_REQUIRE_MSG(it != by_name_.end(), "no code object named " << name);
+  return it->second;
+}
+
+CodeBuilder::CodeBuilder(std::string name, bool is_task) {
+  code_.name = std::move(name);
+  code_.is_task = is_task;
+}
+
+CodeBuilder& CodeBuilder::instr(std::string name, std::function<void()> fn,
+                                std::uint32_t cost) {
+  SENT_REQUIRE(fn != nullptr);
+  code_.instrs.push_back(Instr{
+      std::move(name), cost,
+      [f = std::move(fn)]() {
+        f();
+        return StepAction::next();
+      },
+      0});
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::branch_if(std::string name,
+                                    std::function<bool()> pred,
+                                    std::string label, std::uint32_t cost) {
+  SENT_REQUIRE(pred != nullptr);
+  pending_.push_back(
+      {code_.instrs.size(), std::move(label), /*conditional=*/true, pred});
+  // Placeholder fn; patched in build() once the label resolves.
+  code_.instrs.push_back(Instr{std::move(name), cost, nullptr, 0});
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::jump(std::string name, std::string label,
+                               std::uint32_t cost) {
+  pending_.push_back(
+      {code_.instrs.size(), std::move(label), /*conditional=*/false, {}});
+  code_.instrs.push_back(Instr{std::move(name), cost, nullptr, 0});
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::ret(std::string name, std::uint32_t cost) {
+  code_.instrs.push_back(
+      Instr{std::move(name), cost, [] { return StepAction::ret(); }, 0});
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::ret_if(std::string name, std::function<bool()> pred,
+                                 std::uint32_t cost) {
+  SENT_REQUIRE(pred != nullptr);
+  code_.instrs.push_back(Instr{std::move(name), cost,
+                               [p = std::move(pred)]() {
+                                 return p() ? StepAction::ret()
+                                            : StepAction::next();
+                               },
+                               0});
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::label(std::string label) {
+  SENT_REQUIRE_MSG(!labels_.count(label), "duplicate label " << label);
+  labels_[std::move(label)] =
+      static_cast<std::uint32_t>(code_.instrs.size());
+  return *this;
+}
+
+CodeId CodeBuilder::build(Program& program) {
+  SENT_REQUIRE_MSG(!built_, "CodeBuilder::build called twice");
+  built_ = true;
+  for (const auto& p : pending_) {
+    auto it = labels_.find(p.label);
+    SENT_REQUIRE_MSG(it != labels_.end(),
+                     "undefined label " << p.label << " in " << code_.name);
+    std::uint32_t target = it->second;
+    // A label at the very end of the object means "jump to return".
+    Instr& instr = code_.instrs[p.instr_index];
+    if (p.conditional) {
+      instr.fn = [pred = p.pred, target, end = code_.instrs.size()]() {
+        if (!pred()) return StepAction::next();
+        return target >= end ? StepAction::ret() : StepAction::jump(target);
+      };
+    } else {
+      instr.fn = [target, end = code_.instrs.size()]() {
+        return target >= end ? StepAction::ret() : StepAction::jump(target);
+      };
+    }
+  }
+  return program.add(std::move(code_));
+}
+
+}  // namespace sent::mcu

@@ -1,0 +1,133 @@
+// Program representation for the virtual MCU.
+//
+// Applications (and the OS/protocol code they link against) are expressed
+// as *code objects* — interrupt handlers and tasks — each a sequence of
+// virtual instructions. A virtual instruction models a short straight-line
+// basic block of machine code: it has a static identity (a global index in
+// the node program, per Definition 4 of the paper), a cycle cost, and a
+// behaviour closure. The machine executes instructions one at a time and
+// delivers interrupts only between instructions, which is exactly the
+// granularity at which the paper's transient interleavings occur.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace sent::mcu {
+
+/// Identifier of a code object within one Program.
+using CodeId = std::uint32_t;
+
+/// Default cycle cost of one virtual instruction (a handful of AVR ops).
+inline constexpr std::uint32_t kDefaultInstrCost = 8;
+
+/// What the machine should do after executing an instruction.
+struct StepAction {
+  enum class Kind : std::uint8_t { Next, Jump, Return };
+  Kind kind = Kind::Next;
+  std::uint32_t target = 0;  ///< instruction index within the code object
+
+  static StepAction next() { return {}; }
+  static StepAction jump(std::uint32_t t) { return {Kind::Jump, t}; }
+  static StepAction ret() { return {Kind::Return, 0}; }
+};
+
+/// Behaviour of one virtual instruction. The closure captures whatever node
+/// state / OS services it needs; the machine itself is state-agnostic.
+using InstrFn = std::function<StepAction()>;
+
+struct Instr {
+  std::string name;          ///< mnemonic, unique-ish within the code object
+  std::uint32_t cost;        ///< cycles charged per execution
+  InstrFn fn;                ///< behaviour; never null
+  trace::InstrId global_id;  ///< index into the program instruction table
+};
+
+struct CodeObject {
+  std::string name;  ///< e.g. "Read.readDone" or "prepareAndSendPacket"
+  bool is_task;      ///< task (posted/run) vs interrupt handler
+  std::vector<Instr> instrs;
+};
+
+/// A node's complete program: all code objects plus the flat static
+/// instruction table that instruction counters are indexed by.
+class Program {
+ public:
+  /// Register a code object; assigns global ids to its instructions.
+  CodeId add(CodeObject code);
+
+  const CodeObject& code(CodeId id) const;
+  std::size_t code_count() const { return codes_.size(); }
+
+  /// Total number of static instructions (the N of Definition 4).
+  std::size_t instr_count() const { return instr_table_.size(); }
+
+  /// Instruction metadata table, for traces and reports.
+  const std::vector<trace::InstrMeta>& instr_table() const {
+    return instr_table_;
+  }
+
+  /// Find a code object by name; throws if absent.
+  CodeId find(const std::string& name) const;
+
+ private:
+  std::vector<CodeObject> codes_;
+  std::vector<trace::InstrMeta> instr_table_;
+  std::map<std::string, CodeId> by_name_;
+};
+
+/// Fluent builder for code objects, with labels and structured branches so
+/// application logic can take different paths (and thus produce different
+/// instruction counts, which is what the featurizer keys on).
+class CodeBuilder {
+ public:
+  CodeBuilder(std::string name, bool is_task);
+
+  /// Straight-line instruction.
+  CodeBuilder& instr(std::string name, std::function<void()> fn,
+                     std::uint32_t cost = kDefaultInstrCost);
+
+  /// Conditional branch: jumps to `label` when pred() is true, otherwise
+  /// falls through.
+  CodeBuilder& branch_if(std::string name, std::function<bool()> pred,
+                         std::string label,
+                         std::uint32_t cost = kDefaultInstrCost);
+
+  /// Unconditional jump to `label`.
+  CodeBuilder& jump(std::string name, std::string label,
+                    std::uint32_t cost = kDefaultInstrCost);
+
+  /// Early return from the code object.
+  CodeBuilder& ret(std::string name, std::uint32_t cost = kDefaultInstrCost);
+
+  /// Conditional early return: returns when pred() is true.
+  CodeBuilder& ret_if(std::string name, std::function<bool()> pred,
+                      std::uint32_t cost = kDefaultInstrCost);
+
+  /// Bind `label` to the position of the next instruction. A label may be
+  /// referenced before or after its definition.
+  CodeBuilder& label(std::string label);
+
+  /// Resolve labels and register with the program. The builder is consumed.
+  CodeId build(Program& program);
+
+ private:
+  struct PendingJump {
+    std::size_t instr_index;
+    std::string label;
+    bool conditional;
+    std::function<bool()> pred;  // only for conditional
+  };
+
+  CodeObject code_;
+  std::map<std::string, std::uint32_t> labels_;
+  std::vector<PendingJump> pending_;
+  bool built_ = false;
+};
+
+}  // namespace sent::mcu

@@ -1,0 +1,115 @@
+#include "ml/dustminer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sent::ml {
+
+std::string MinedPattern::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i) os << " -> ";
+    os << events[i];
+  }
+  return os.str();
+}
+
+std::vector<std::vector<std::uint32_t>> code_object_sequences(
+    const trace::NodeTrace& trace,
+    std::span<const core::EventInterval> intervals,
+    std::vector<std::string>* object_names) {
+  SENT_REQUIRE(!trace.instr_table.empty());
+  // Map instructions to code-object ids in order of first appearance.
+  std::vector<std::uint32_t> instr_to_object(trace.instr_table.size());
+  std::vector<std::string> names;
+  {
+    std::map<std::string, std::uint32_t> ids;
+    for (std::size_t i = 0; i < trace.instr_table.size(); ++i) {
+      const std::string& object = trace.instr_table[i].code_object;
+      auto [it, inserted] =
+          ids.try_emplace(object, static_cast<std::uint32_t>(names.size()));
+      if (inserted) names.push_back(object);
+      instr_to_object[i] = it->second;
+    }
+  }
+  if (object_names) *object_names = names;
+
+  std::vector<std::vector<std::uint32_t>> sequences;
+  sequences.reserve(intervals.size());
+  for (const auto& interval : intervals) {
+    std::vector<std::uint32_t> seq;
+    auto lo = std::lower_bound(
+        trace.instrs.begin(), trace.instrs.end(), interval.start_cycle,
+        [](const trace::InstrExec& e, sim::Cycle c) { return e.cycle < c; });
+    for (auto it = lo;
+         it != trace.instrs.end() && it->cycle <= interval.end_cycle; ++it) {
+      std::uint32_t object = instr_to_object[it->instr];
+      if (seq.empty() || seq.back() != object) seq.push_back(object);
+    }
+    sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+Dustminer::Dustminer(DustminerParams params) : params_(params) {
+  SENT_REQUIRE(params_.max_n >= 1);
+  SENT_REQUIRE(params_.top_patterns >= 1);
+}
+
+std::vector<MinedPattern> Dustminer::mine(
+    const std::vector<std::vector<std::uint32_t>>& sequences,
+    const std::vector<bool>& labels_bad,
+    const std::vector<std::string>& object_names) const {
+  SENT_REQUIRE(sequences.size() == labels_bad.size());
+  std::size_t n_bad = 0;
+  for (bool b : labels_bad) n_bad += b;
+  SENT_REQUIRE_MSG(n_bad >= 1 && n_bad < sequences.size(),
+                   "need at least one bad and one good interval");
+  const double bad_count = static_cast<double>(n_bad);
+  const double good_count = static_cast<double>(sequences.size() - n_bad);
+
+  // Count every n-gram's total occurrences in each class.
+  std::map<std::vector<std::uint32_t>, std::pair<double, double>> counts;
+  for (std::size_t s = 0; s < sequences.size(); ++s) {
+    const auto& seq = sequences[s];
+    for (std::size_t n = 1; n <= params_.max_n; ++n) {
+      if (seq.size() < n) continue;
+      for (std::size_t i = 0; i + n <= seq.size(); ++i) {
+        std::vector<std::uint32_t> gram(seq.begin() + static_cast<long>(i),
+                                        seq.begin() + static_cast<long>(i + n));
+        auto& entry = counts[std::move(gram)];
+        if (labels_bad[s])
+          entry.first += 1.0;
+        else
+          entry.second += 1.0;
+      }
+    }
+  }
+
+  std::vector<MinedPattern> patterns;
+  patterns.reserve(counts.size());
+  for (const auto& [gram, supports] : counts) {
+    MinedPattern p;
+    for (std::uint32_t id : gram) {
+      SENT_ASSERT(id < object_names.size());
+      p.events.push_back(object_names[id]);
+    }
+    p.support_bad = supports.first / bad_count;
+    p.support_good = supports.second / good_count;
+    p.score = std::abs(p.support_bad - p.support_good);
+    p.more_frequent_in_bad = p.support_bad > p.support_good;
+    if (p.score >= params_.min_score) patterns.push_back(std::move(p));
+  }
+  std::stable_sort(patterns.begin(), patterns.end(),
+                   [](const MinedPattern& a, const MinedPattern& b) {
+                     return a.score > b.score;
+                   });
+  if (patterns.size() > params_.top_patterns)
+    patterns.resize(params_.top_patterns);
+  return patterns;
+}
+
+}  // namespace sent::ml

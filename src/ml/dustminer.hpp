@@ -1,0 +1,70 @@
+// Dustminer-style baseline (Khan et al., SenSys 2008 — the paper's main
+// comparator, §II).
+//
+// Dustminer troubleshoots sensor networks by mining DISCRIMINATIVE event
+// patterns from function-level logs: given a log segment labelled "good
+// behaviour" and one labelled "bad behaviour", it ranks the event n-grams
+// whose frequency differs most between the two. Its key limitation — the
+// one Sentomist removes — is that somebody must supply those labels:
+// "such identification of bad-behavior interval generally causes extensive
+// manual efforts, especially when a bug is transient in nature."
+//
+// This implementation mines n-grams (n = 1..max_n) over per-interval
+// code-object event sequences and scores each pattern by the difference in
+// mean per-interval support between the bad and good sets. The
+// ext_baseline_dustminer bench feeds it ground-truth labels (the idealized
+// best case) and progressively corrupted labels to quantify the cost of
+// the labelling requirement.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/anatomizer.hpp"
+#include "trace/recorder.hpp"
+
+namespace sent::ml {
+
+/// A mined pattern: a sequence of code-object names with its supports.
+struct MinedPattern {
+  std::vector<std::string> events;
+  double support_bad = 0.0;   ///< mean occurrences per bad interval
+  double support_good = 0.0;  ///< mean occurrences per good interval
+  double score = 0.0;         ///< |support_bad - support_good|
+  bool more_frequent_in_bad = false;
+
+  std::string to_string() const;
+};
+
+/// Per-interval event sequence at function (code-object) granularity:
+/// consecutive executions within the same code object collapse to one
+/// event, mirroring Dustminer's function-entry logging.
+std::vector<std::vector<std::uint32_t>> code_object_sequences(
+    const trace::NodeTrace& trace,
+    std::span<const core::EventInterval> intervals,
+    std::vector<std::string>* object_names = nullptr);
+
+struct DustminerParams {
+  std::size_t max_n = 3;        ///< longest n-gram mined
+  std::size_t top_patterns = 20;
+  double min_score = 1e-9;      ///< drop non-discriminative patterns
+};
+
+class Dustminer {
+ public:
+  explicit Dustminer(DustminerParams params = {});
+
+  /// Mine discriminative patterns between the labelled interval sets.
+  /// `labels_bad[i]` marks sequence i as bad behaviour. Requires at least
+  /// one interval on each side.
+  std::vector<MinedPattern> mine(
+      const std::vector<std::vector<std::uint32_t>>& sequences,
+      const std::vector<bool>& labels_bad,
+      const std::vector<std::string>& object_names) const;
+
+ private:
+  DustminerParams params_;
+};
+
+}  // namespace sent::ml

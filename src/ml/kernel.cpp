@@ -1,0 +1,55 @@
+#include "ml/kernel.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace sent::ml {
+
+std::string KernelSpec::to_string() const {
+  std::ostringstream os;
+  switch (type) {
+    case KernelType::Rbf:
+      os << "rbf(gamma=" << (gamma > 0 ? std::to_string(gamma) : "auto")
+         << ")";
+      break;
+    case KernelType::Linear:
+      os << "linear";
+      break;
+    case KernelType::Poly:
+      os << "poly(degree=" << degree << ")";
+      break;
+  }
+  return os.str();
+}
+
+double resolve_gamma(const KernelSpec& spec, std::size_t d) {
+  SENT_REQUIRE(d > 0);
+  if (spec.gamma > 0) return spec.gamma;
+  return 1.0 / static_cast<double>(d);
+}
+
+double kernel_eval(const KernelSpec& spec, double gamma,
+                   std::span<const double> a, std::span<const double> b) {
+  SENT_REQUIRE(a.size() == b.size());
+  switch (spec.type) {
+    case KernelType::Rbf: {
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        double diff = a[i] - b[i];
+        d2 += diff * diff;
+      }
+      return std::exp(-gamma * d2);
+    }
+    case KernelType::Linear:
+      return util::dot(a, b);
+    case KernelType::Poly:
+      return std::pow(gamma * util::dot(a, b) + spec.coef0, spec.degree);
+  }
+  SENT_ASSERT_MSG(false, "unknown kernel type");
+  return 0.0;
+}
+
+}  // namespace sent::ml

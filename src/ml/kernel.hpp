@@ -1,0 +1,37 @@
+// Kernel functions for the one-class SVM.
+//
+// The RBF kernel is the paper's workhorse ("the kernel method can be
+// seamlessly applied ... it can find a nonlinear boundary"); linear and
+// polynomial kernels are provided for ablation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace sent::ml {
+
+enum class KernelType : std::uint8_t { Rbf, Linear, Poly };
+
+struct KernelSpec {
+  KernelType type = KernelType::Rbf;
+
+  /// RBF/Poly gamma. <= 0 means "auto": 1 / dimensionality (sensible after
+  /// standardization, matching LIBSVM's default on scaled data).
+  double gamma = 0.0;
+
+  /// Poly only.
+  int degree = 3;
+  double coef0 = 1.0;
+
+  std::string to_string() const;
+};
+
+/// Evaluate k(a, b) with `gamma` already resolved (> 0 where relevant).
+double kernel_eval(const KernelSpec& spec, double gamma,
+                   std::span<const double> a, std::span<const double> b);
+
+/// Resolve the effective gamma for dimensionality d.
+double resolve_gamma(const KernelSpec& spec, std::size_t d);
+
+}  // namespace sent::ml

@@ -1,0 +1,167 @@
+#include "ml/ocsvm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace sent::ml {
+
+namespace {
+constexpr double kEps = 1e-12;
+constexpr double kTau = 1e-12;  // denominator floor in the pair update
+}  // namespace
+
+OneClassSvm::OneClassSvm(OcsvmParams params) : params_(params) {
+  SENT_REQUIRE_MSG(params_.nu > 0.0 && params_.nu <= 1.0,
+                   "nu must be in (0, 1]");
+  SENT_REQUIRE(params_.tol > 0.0);
+}
+
+std::string OneClassSvm::name() const {
+  return "ocsvm-" + params_.kernel.to_string();
+}
+
+void OneClassSvm::fit(const std::vector<std::vector<double>>& rows) {
+  std::size_t d = check_rectangular(rows);
+  if (params_.standardize) {
+    scaler_.fit(rows);
+    train_ = scaler_.transform(rows);
+  } else {
+    train_ = rows;
+  }
+  gamma_ = resolve_gamma(params_.kernel, d);
+  solve(train_);
+}
+
+void OneClassSvm::solve(const std::vector<std::vector<double>>& x) {
+  const std::size_t l = x.size();
+  const double c = 1.0 / (params_.nu * static_cast<double>(l));
+
+  // Dense kernel matrix. l is at most a few thousand in our experiments,
+  // so O(l^2) memory is the simple and fast choice.
+  std::vector<double> q(l * l);
+  for (std::size_t i = 0; i < l; ++i) {
+    for (std::size_t j = i; j < l; ++j) {
+      double v = kernel_eval(params_.kernel, gamma_, x[i], x[j]);
+      q[i * l + j] = v;
+      q[j * l + i] = v;
+    }
+  }
+
+  // LIBSVM-style feasible start: the first floor(nu*l) points at the upper
+  // bound, one fractional point, the rest at zero; sum = 1.
+  alpha_.assign(l, 0.0);
+  double remaining = 1.0;
+  for (std::size_t i = 0; i < l && remaining > 0.0; ++i) {
+    alpha_[i] = std::min(c, remaining);
+    remaining -= alpha_[i];
+  }
+  SENT_ASSERT_MSG(remaining <= 1e-9, "infeasible initialization");
+
+  // Gradient G = Q alpha.
+  std::vector<double> g(l, 0.0);
+  for (std::size_t i = 0; i < l; ++i) {
+    if (alpha_[i] <= kEps) continue;
+    const double a = alpha_[i];
+    const double* qi = &q[i * l];
+    for (std::size_t j = 0; j < l; ++j) g[j] += a * qi[j];
+  }
+
+  converged_ = false;
+  iterations_ = 0;
+  while (iterations_ < params_.max_iter) {
+    // Maximal violating pair: i can grow (alpha_i < C) with minimal G;
+    // j can shrink (alpha_j > 0) with maximal G.
+    std::size_t up = l, low = l;
+    double g_up = std::numeric_limits<double>::infinity();
+    double g_low = -std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < l; ++t) {
+      if (alpha_[t] < c - kEps && g[t] < g_up) {
+        g_up = g[t];
+        up = t;
+      }
+      if (alpha_[t] > kEps && g[t] > g_low) {
+        g_low = g[t];
+        low = t;
+      }
+    }
+    if (up == l || low == l || g_low - g_up < params_.tol) {
+      converged_ = true;
+      break;
+    }
+
+    double denom = q[up * l + up] + q[low * l + low] - 2.0 * q[up * l + low];
+    double step = (g_low - g_up) / std::max(denom, kTau);
+    step = std::min(step, c - alpha_[up]);
+    step = std::min(step, alpha_[low]);
+    SENT_ASSERT(step > 0.0);
+    alpha_[up] += step;
+    alpha_[low] -= step;
+
+    const double* q_up = &q[up * l];
+    const double* q_low = &q[low * l];
+    for (std::size_t t = 0; t < l; ++t)
+      g[t] += step * (q_up[t] - q_low[t]);
+    ++iterations_;
+  }
+
+  // rho: G_i == rho on free support vectors; otherwise bracket between the
+  // bound groups.
+  double free_sum = 0.0;
+  std::size_t free_count = 0;
+  double ub = std::numeric_limits<double>::infinity();   // min G over a=0
+  double lb = -std::numeric_limits<double>::infinity();  // max G over a=C
+  for (std::size_t t = 0; t < l; ++t) {
+    if (alpha_[t] > kEps && alpha_[t] < c - kEps) {
+      free_sum += g[t];
+      ++free_count;
+    } else if (alpha_[t] <= kEps) {
+      ub = std::min(ub, g[t]);
+    } else {
+      lb = std::max(lb, g[t]);
+    }
+  }
+  if (free_count > 0) {
+    rho_ = free_sum / static_cast<double>(free_count);
+  } else if (std::isfinite(ub) && std::isfinite(lb)) {
+    rho_ = (ub + lb) / 2.0;
+  } else if (std::isfinite(lb)) {
+    rho_ = lb;
+  } else {
+    rho_ = std::isfinite(ub) ? ub : 0.0;
+  }
+
+  // Training decision values come straight from the gradient: f(x_i) =
+  // (Q alpha)_i - rho = G_i - rho.
+  train_decision_.resize(l);
+  for (std::size_t t = 0; t < l; ++t) train_decision_[t] = g[t] - rho_;
+}
+
+double OneClassSvm::decision(const std::vector<double>& x) const {
+  SENT_REQUIRE_MSG(fitted(), "decision() before fit()");
+  std::vector<double> z =
+      params_.standardize ? scaler_.transform(x) : x;
+  SENT_REQUIRE(z.size() == train_[0].size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    if (alpha_[i] <= kEps) continue;
+    sum += alpha_[i] * kernel_eval(params_.kernel, gamma_, train_[i], z);
+  }
+  return sum - rho_;
+}
+
+std::size_t OneClassSvm::support_vector_count() const {
+  std::size_t n = 0;
+  for (double a : alpha_) n += a > kEps;
+  return n;
+}
+
+std::vector<double> OneClassSvm::score(
+    const std::vector<std::vector<double>>& rows) {
+  fit(rows);
+  return train_decision_;
+}
+
+}  // namespace sent::ml

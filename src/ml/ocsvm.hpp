@@ -1,0 +1,74 @@
+// One-class SVM (Schölkopf et al., "Estimating the support of a
+// high-dimensional distribution", Neural Computation 13(7), 2001) — the
+// paper's outlier detector, solved from scratch with an SMO-style
+// maximal-violating-pair algorithm (the same dual LIBSVM solves):
+//
+//     min_a  1/2 aᵀQa    s.t.  0 <= a_i <= 1/(nu*l),  sum a_i = 1
+//
+// with Q_ij = k(x_i, x_j). The decision function is
+//
+//     f(x) = sum_i a_i k(x_i, x) - rho,
+//
+// positive inside the estimated support (normal side), negative outside.
+// nu upper-bounds the fraction of training points scored as outliers and
+// lower-bounds the fraction of support vectors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "ml/kernel.hpp"
+#include "ml/scaler.hpp"
+
+namespace sent::ml {
+
+struct OcsvmParams {
+  double nu = 0.05;
+  KernelSpec kernel{};
+  bool standardize = true;
+  double tol = 1e-6;          ///< KKT violation tolerance
+  std::size_t max_iter = 200000;
+};
+
+class OneClassSvm final : public core::OutlierDetector {
+ public:
+  explicit OneClassSvm(OcsvmParams params = {});
+
+  std::string name() const override;
+
+  /// Transductive use (as in the paper): fit on all intervals' features
+  /// and score those same rows. Lower = more suspicious.
+  std::vector<double> score(
+      const std::vector<std::vector<double>>& rows) override;
+
+  // --- inductive API -----------------------------------------------------
+
+  void fit(const std::vector<std::vector<double>>& rows);
+  bool fitted() const { return !train_.empty(); }
+
+  /// Signed distance f(x) for a new point.
+  double decision(const std::vector<double>& x) const;
+
+  double rho() const { return rho_; }
+  /// Dual variables after fit (one per training row; sums to 1).
+  const std::vector<double>& alpha() const { return alpha_; }
+  std::size_t support_vector_count() const;
+  std::size_t iterations_used() const { return iterations_; }
+  bool converged() const { return converged_; }
+
+ private:
+  OcsvmParams params_;
+  StandardScaler scaler_;
+  std::vector<std::vector<double>> train_;  ///< scaled training rows
+  std::vector<double> alpha_;
+  std::vector<double> train_decision_;  ///< f(x_i) for the training rows
+  double rho_ = 0.0;
+  double gamma_ = 0.0;
+  std::size_t iterations_ = 0;
+  bool converged_ = false;
+
+  void solve(const std::vector<std::vector<double>>& x);
+};
+
+}  // namespace sent::ml

@@ -1,0 +1,56 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace sent::ml {
+
+std::size_t check_rectangular(const std::vector<std::vector<double>>& rows) {
+  SENT_REQUIRE_MSG(!rows.empty(), "empty feature matrix");
+  std::size_t d = rows[0].size();
+  SENT_REQUIRE_MSG(d > 0, "zero-dimensional feature matrix");
+  for (const auto& row : rows)
+    SENT_REQUIRE_MSG(row.size() == d, "ragged feature matrix");
+  return d;
+}
+
+void StandardScaler::fit(const std::vector<std::vector<double>>& rows) {
+  std::size_t d = check_rectangular(rows);
+  auto n = static_cast<double>(rows.size());
+  mean_.assign(d, 0.0);
+  scale_.assign(d, 1.0);
+  for (const auto& row : rows)
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  for (double& m : mean_) m /= n;
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : rows)
+    for (std::size_t j = 0; j < d; ++j) {
+      double delta = row[j] - mean_[j];
+      var[j] += delta * delta;
+    }
+  for (std::size_t j = 0; j < d; ++j) {
+    double s = std::sqrt(var[j] / n);
+    scale_[j] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(
+    const std::vector<double>& row) const {
+  SENT_REQUIRE(fitted());
+  SENT_REQUIRE(row.size() == mean_.size());
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j)
+    out[j] = (row[j] - mean_[j]) / scale_[j];
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::transform(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+}  // namespace sent::ml

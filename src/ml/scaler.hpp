@@ -1,0 +1,33 @@
+// Per-dimension standardization (zero mean, unit variance).
+//
+// Instruction counters have wildly different magnitudes per column (a hot
+// loop instruction vs a rare branch); every kernel/distance-based detector
+// here standardizes first. Zero-variance columns are left centred with
+// scale 1 so constant instructions contribute nothing.
+#pragma once
+
+#include <vector>
+
+namespace sent::ml {
+
+class StandardScaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows);
+
+  std::vector<double> transform(const std::vector<double>& row) const;
+  std::vector<std::vector<double>> transform(
+      const std::vector<std::vector<double>>& rows) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+/// Validate that `rows` is non-empty and rectangular; returns the width.
+std::size_t check_rectangular(const std::vector<std::vector<double>>& rows);
+
+}  // namespace sent::ml

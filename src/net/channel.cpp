@@ -1,0 +1,129 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sent::net {
+
+Channel::Channel(sim::EventQueue& queue, util::Rng rng)
+    : queue_(queue), rng_(rng) {}
+
+void Channel::add_node(NodeId id, RadioListener* listener) {
+  SENT_REQUIRE(listener != nullptr);
+  SENT_REQUIRE_MSG(!nodes_.count(id), "node " << id << " already attached");
+  nodes_[id] = listener;
+}
+
+void Channel::set_loss_rate(double p) {
+  SENT_REQUIRE(p >= 0.0 && p <= 1.0);
+  loss_rate_ = p;
+  ge_model_.reset();
+}
+
+void Channel::set_gilbert_elliott(const GilbertElliott& model) {
+  SENT_REQUIRE(model.loss_good >= 0.0 && model.loss_good <= 1.0);
+  SENT_REQUIRE(model.loss_bad >= 0.0 && model.loss_bad <= 1.0);
+  SENT_REQUIRE(model.p_good_to_bad >= 0.0 && model.p_good_to_bad <= 1.0);
+  SENT_REQUIRE(model.p_bad_to_good >= 0.0 && model.p_bad_to_good <= 1.0);
+  ge_model_ = model;
+  ge_burst_.clear();
+}
+
+bool Channel::link_in_burst(NodeId a, NodeId b) const {
+  auto it = ge_burst_.find({a, b});
+  return it != ge_burst_.end() && it->second;
+}
+
+bool Channel::delivery_lost(NodeId from, NodeId to) {
+  if (!ge_model_) return rng_.chance(loss_rate_);
+  bool& burst = ge_burst_[{from, to}];
+  bool lost =
+      rng_.chance(burst ? ge_model_->loss_bad : ge_model_->loss_good);
+  // Advance the two-state Markov chain once per delivery attempt.
+  if (burst) {
+    if (rng_.chance(ge_model_->p_bad_to_good)) burst = false;
+  } else {
+    if (rng_.chance(ge_model_->p_good_to_bad)) burst = true;
+  }
+  return lost;
+}
+
+void Channel::add_link(NodeId a, NodeId b) {
+  SENT_REQUIRE(a != b);
+  restricted_ = true;
+  links_.insert({std::min(a, b), std::max(a, b)});
+}
+
+bool Channel::connected(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  if (!restricted_) return true;
+  return links_.count({std::min(a, b), std::max(a, b)}) > 0;
+}
+
+bool Channel::carrier_busy(NodeId listener_node) const {
+  for (const auto& tx : active_) {
+    if (tx.sender == listener_node) return true;  // own TX in flight
+    if (connected(tx.sender, listener_node)) return true;
+  }
+  return false;
+}
+
+void Channel::transmit(NodeId sender, const Packet& packet,
+                       sim::Cycle airtime) {
+  SENT_REQUIRE_MSG(nodes_.count(sender), "unknown sender " << sender);
+  SENT_REQUIRE(airtime > 0);
+  ++frames_sent_;
+  Tx tx;
+  tx.id = next_tx_id_++;
+  tx.sender = sender;
+  tx.packet = packet;
+  tx.packet.src = sender;
+  tx.end = queue_.now() + airtime;
+
+  // Collision marking: any receiver that can hear both this new frame and
+  // an already-active frame gets both copies corrupted.
+  for (auto& other : active_) {
+    for (const auto& [rx, listener] : nodes_) {
+      (void)listener;
+      if (connected(sender, rx) && connected(other.sender, rx)) {
+        other.corrupted_at.insert(rx);
+        tx.corrupted_at.insert(rx);
+      }
+    }
+    // A node cannot transmit and receive simultaneously: the new frame is
+    // unreceivable at the concurrent sender and vice versa.
+    if (connected(sender, other.sender)) {
+      other.corrupted_at.insert(sender);
+      tx.corrupted_at.insert(other.sender);
+    }
+  }
+
+  std::uint64_t id = tx.id;
+  active_.push_back(std::move(tx));
+  queue_.schedule_at(active_.back().end, [this, id] { finish(id); });
+}
+
+void Channel::finish(std::uint64_t tx_id) {
+  auto it = std::find_if(active_.begin(), active_.end(),
+                         [&](const Tx& t) { return t.id == tx_id; });
+  SENT_ASSERT(it != active_.end());
+  Tx tx = std::move(*it);
+  active_.erase(it);
+
+  for (const auto& [rx, listener] : nodes_) {
+    if (!connected(tx.sender, rx)) continue;
+    if (tx.corrupted_at.count(rx)) {
+      ++frames_collided_;
+      continue;
+    }
+    if (delivery_lost(tx.sender, rx)) {
+      ++frames_lost_;
+      continue;
+    }
+    ++frames_delivered_;
+    listener->on_frame(tx.packet);
+  }
+}
+
+}  // namespace sent::net

@@ -1,0 +1,105 @@
+// Shared radio medium.
+//
+// Models what the case studies need from RF: airtime occupancy (carrier
+// sense), collisions (overlapping audible transmissions corrupt each
+// other at a receiver), independent random loss per link, and restricted
+// connectivity (multi-hop topologies). Nodes attach as RadioListeners;
+// hw::RadioChip is the production listener.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace sent::net {
+
+/// Receiver-side hook, implemented by the radio chip.
+class RadioListener {
+ public:
+  virtual ~RadioListener() = default;
+  /// A frame arrived intact (post collision/loss filtering).
+  virtual void on_frame(const Packet& packet) = 0;
+};
+
+class Channel {
+ public:
+  Channel(sim::EventQueue& queue, util::Rng rng);
+
+  /// Attach a node. All attached nodes hear each other unless restrict_
+  /// links are configured.
+  void add_node(NodeId id, RadioListener* listener);
+
+  /// Independent per-delivery drop probability (default 0).
+  void set_loss_rate(double p);
+
+  /// Switch loss to a two-state Gilbert-Elliott model: each (sender,
+  /// receiver) link wanders between a Good state (loss `loss_good`) and a
+  /// Bad/burst state (loss `loss_bad`), flipping at each delivery with
+  /// probabilities p_good_to_bad / p_bad_to_good. Models the bursty
+  /// fading real deployments see. Overrides set_loss_rate.
+  struct GilbertElliott {
+    double loss_good = 0.0;
+    double loss_bad = 0.8;
+    double p_good_to_bad = 0.05;
+    double p_bad_to_good = 0.3;
+  };
+  void set_gilbert_elliott(const GilbertElliott& model);
+
+  /// True if the (a, b) link is currently in the burst state (testing).
+  bool link_in_burst(NodeId a, NodeId b) const;
+
+  /// Switch to explicit connectivity and declare a bidirectional link.
+  /// Before the first call every pair is connected.
+  void add_link(NodeId a, NodeId b);
+
+  /// True if `listener_node` can hear any in-flight transmission.
+  bool carrier_busy(NodeId listener_node) const;
+
+  /// Begin a transmission; the frame is delivered to audible nodes when
+  /// the airtime elapses. Collisions with overlapping audible
+  /// transmissions corrupt both frames at the affected receivers.
+  void transmit(NodeId sender, const Packet& packet, sim::Cycle airtime);
+
+  // --- statistics (benches/tests) ---
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_collided() const { return frames_collided_; }
+  std::uint64_t frames_lost() const { return frames_lost_; }
+
+ private:
+  struct Tx {
+    std::uint64_t id;
+    NodeId sender;
+    Packet packet;
+    sim::Cycle end;
+    /// Receivers whose copy of this frame was hit by a collision.
+    std::set<NodeId> corrupted_at;
+  };
+
+  sim::EventQueue& queue_;
+  util::Rng rng_;
+  std::map<NodeId, RadioListener*> nodes_;
+  double loss_rate_ = 0.0;
+  std::optional<GilbertElliott> ge_model_;
+  /// Per-directed-link burst state under the Gilbert-Elliott model.
+  mutable std::map<std::pair<NodeId, NodeId>, bool> ge_burst_;
+  bool restricted_ = false;
+  std::set<std::pair<NodeId, NodeId>> links_;
+  std::vector<Tx> active_;
+  std::uint64_t next_tx_id_ = 1;
+  std::uint64_t frames_sent_ = 0, frames_delivered_ = 0,
+                frames_collided_ = 0, frames_lost_ = 0;
+
+  bool connected(NodeId a, NodeId b) const;
+  void finish(std::uint64_t tx_id);
+  /// Decide (and advance the state of) one delivery attempt on a link.
+  bool delivery_lost(NodeId from, NodeId to);
+};
+
+}  // namespace sent::net

@@ -1,0 +1,25 @@
+// Well-known interrupt line assignments.
+//
+// Line number doubles as priority (lower = higher priority), mirroring AVR
+// vector ordering. The three lines below are the event types the paper's
+// case studies anatomize: SPI (radio), ADC, and timers.
+#pragma once
+
+#include "trace/lifecycle.hpp"
+
+namespace sent::os::irq {
+
+/// SPI interrupt from the radio chip (packet RX / TX-done, case study II).
+inline constexpr trace::IrqLine kRadioSpi = 2;
+
+/// ADC data-ready interrupt (case study I).
+inline constexpr trace::IrqLine kAdc = 5;
+
+/// First virtual timer line; TimerService allocates upward from here
+/// (case study III uses timer lines).
+inline constexpr trace::IrqLine kTimerBase = 10;
+
+/// Exclusive upper bound on timer lines.
+inline constexpr trace::IrqLine kTimerLimit = 40;
+
+}  // namespace sent::os::irq

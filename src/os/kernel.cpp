@@ -1,0 +1,62 @@
+#include "os/kernel.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sent::os {
+
+Kernel::Kernel(sim::EventQueue& queue, trace::Recorder& recorder,
+               mcu::Machine& machine, const mcu::Program& program)
+    : queue_time_(queue),
+      recorder_(recorder),
+      machine_(machine),
+      program_(program) {
+  machine_.set_task_provider(this);
+}
+
+trace::TaskId Kernel::register_task(mcu::CodeId code) {
+  SENT_REQUIRE_MSG(program_.code(code).is_task,
+                   "register_task on non-task code object "
+                       << program_.code(code).name);
+  task_codes_.push_back(code);
+  return static_cast<trace::TaskId>(task_codes_.size() - 1);
+}
+
+void Kernel::set_queue_capacity(std::size_t capacity) {
+  SENT_REQUIRE(capacity >= 1);
+  capacity_ = capacity;
+}
+
+bool Kernel::try_post(trace::TaskId task) {
+  SENT_REQUIRE(task < task_codes_.size());
+  if (capacity_ != 0 && queue_.size() >= capacity_) {
+    ++overflows_;
+    return false;
+  }
+  // Posts happen from inside an executing instruction, so "now" is that
+  // instruction's start cycle.
+  recorder_.on_post_task(queue_time_.now(), task);
+  queue_.push_back(task);
+  machine_.notify_task_posted();
+  return true;
+}
+
+void Kernel::post(trace::TaskId task) { (void)try_post(task); }
+
+bool Kernel::post_unique(trace::TaskId task) {
+  SENT_REQUIRE(task < task_codes_.size());
+  if (std::find(queue_.begin(), queue_.end(), task) != queue_.end())
+    return false;
+  post(task);
+  return true;
+}
+
+std::pair<trace::TaskId, mcu::CodeId> Kernel::pop_task() {
+  SENT_ASSERT(!queue_.empty());
+  trace::TaskId task = queue_.front();
+  queue_.pop_front();
+  return {task, task_codes_[task]};
+}
+
+}  // namespace sent::os

@@ -1,0 +1,65 @@
+// TinyOS-like kernel: task registration, the single FIFO task queue, and
+// the postTask / runTask trace hooks.
+//
+// Unlike TinyOS 2.x (where re-posting a pending task fails), the plain
+// post() here always enqueues. The paper's Criterion 1 — "the task posted
+// via the ith postTask is executed via the ith runTask" — assumes exactly
+// this model, and it is what the anatomizer's pairing step relies on.
+// post_unique() provides the TinyOS once-only behaviour for code that wants
+// it; a failed post_unique emits no lifecycle item, preserving Criterion 1.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "mcu/machine.hpp"
+#include "mcu/program.hpp"
+#include "sim/event_queue.hpp"
+#include "trace/recorder.hpp"
+
+namespace sent::os {
+
+class Kernel final : public mcu::TaskProvider {
+ public:
+  Kernel(sim::EventQueue& queue, trace::Recorder& recorder,
+         mcu::Machine& machine, const mcu::Program& program);
+
+  /// Register a code object (of task kind) as a postable task.
+  trace::TaskId register_task(mcu::CodeId code);
+
+  /// Post a task FIFO. Always succeeds; emits a postTask lifecycle item.
+  void post(trace::TaskId task);
+
+  /// TinyOS-style post: fails (returns false, emits nothing) if the task
+  /// is already pending in the queue.
+  bool post_unique(trace::TaskId task);
+
+  /// Bound the queue like TinyOS's fixed task slots (default: unbounded).
+  /// A post against a full queue fails silently (no lifecycle item) and
+  /// counts as an overflow — a real failure mode of task-heavy firmware.
+  void set_queue_capacity(std::size_t capacity);
+
+  /// Like post(), but reports whether the task was accepted (only a
+  /// bounded queue can refuse).
+  bool try_post(trace::TaskId task);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t overflows() const { return overflows_; }
+
+  // TaskProvider:
+  bool has_task() override { return !queue_.empty(); }
+  std::pair<trace::TaskId, mcu::CodeId> pop_task() override;
+
+ private:
+  sim::EventQueue& queue_time_;
+  trace::Recorder& recorder_;
+  mcu::Machine& machine_;
+  const mcu::Program& program_;
+  std::vector<mcu::CodeId> task_codes_;  // TaskId -> CodeId
+  std::deque<trace::TaskId> queue_;
+  std::size_t capacity_ = 0;  // 0 = unbounded
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace sent::os

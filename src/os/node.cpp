@@ -1,0 +1,7 @@
+// Node is header-only; this translation unit exists so the library has at
+// least one object file and the header stays self-contained under -Wall.
+#include "os/node.hpp"
+
+namespace sent::os {
+// Intentionally empty.
+}  // namespace sent::os

@@ -1,0 +1,58 @@
+#include "pipeline/campaign.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sent::pipeline {
+
+double CampaignStats::trigger_rate() const {
+  if (runs == 0) return 0.0;
+  return static_cast<double>(triggered) / static_cast<double>(runs);
+}
+
+double CampaignStats::detection_rate() const {
+  if (triggered == 0) return 1.0;
+  return static_cast<double>(detected_top_k) /
+         static_cast<double>(triggered);
+}
+
+double CampaignStats::mean_first_rank() const {
+  if (first_ranks.empty()) return 0.0;
+  double sum = std::accumulate(first_ranks.begin(), first_ranks.end(), 0.0);
+  return sum / static_cast<double>(first_ranks.size());
+}
+
+CampaignStats run_campaign(const ScenarioRunner& runner,
+                           std::uint64_t first_seed, std::size_t runs,
+                           std::size_t k) {
+  SENT_REQUIRE(runner != nullptr);
+  SENT_REQUIRE(runs >= 1);
+  SENT_REQUIRE(k >= 1);
+  CampaignStats stats;
+  stats.runs = runs;
+  stats.k = k;
+  for (std::size_t i = 0; i < runs; ++i) {
+    AnalysisReport report = runner(first_seed + i);
+    if (report.buggy_count() == 0) continue;
+    ++stats.triggered;
+    std::size_t rank = report.first_bug_rank();
+    stats.first_ranks.push_back(rank);
+    if (rank <= k) ++stats.detected_top_k;
+  }
+  return stats;
+}
+
+std::string summarize(const CampaignStats& stats) {
+  std::ostringstream os;
+  os << stats.runs << " runs: bug triggered in " << stats.triggered << " ("
+     << static_cast<int>(stats.trigger_rate() * 100.0 + 0.5)
+     << "%); when triggered, ranked top-" << stats.k << " in "
+     << stats.detected_top_k << "/" << stats.triggered;
+  if (stats.triggered > 0)
+    os << " (mean first rank " << stats.mean_first_rank() << ")";
+  return os.str();
+}
+
+}  // namespace sent::pipeline

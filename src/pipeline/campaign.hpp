@@ -1,0 +1,46 @@
+// Randomized test campaigns.
+//
+// The paper's premise is that transient bugs need many randomized runs to
+// trigger at all ("it is generally not cost-effective ... for a real
+// system to explore a variety of system states to hit the trigger
+// condition"), and that once triggered, Sentomist pinpoints the symptom.
+// A campaign runs one scenario across many seeds and separates the two
+// probabilities: how often the bug MANIFESTS (trigger rate, a property of
+// the workload) and how often Sentomist surfaces it in the top-k WHEN it
+// manifests (detection rate, the tool's quality).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pipeline/sentomist.hpp"
+
+namespace sent::pipeline {
+
+/// Runs one seeded scenario end to end and returns its analysis report.
+using ScenarioRunner = std::function<AnalysisReport(std::uint64_t seed)>;
+
+struct CampaignStats {
+  std::size_t runs = 0;
+  std::size_t triggered = 0;       ///< runs where the bug manifested
+  std::size_t detected_top_k = 0;  ///< triggered runs with first rank <= k
+  std::size_t k = 0;
+  std::vector<std::size_t> first_ranks;  ///< one per triggered run
+
+  double trigger_rate() const;
+  /// Detection rate among triggered runs (1.0 when none triggered).
+  double detection_rate() const;
+  double mean_first_rank() const;  ///< 0 when none triggered
+};
+
+/// Run `runner` for seeds first_seed .. first_seed + runs - 1.
+CampaignStats run_campaign(const ScenarioRunner& runner,
+                           std::uint64_t first_seed, std::size_t runs,
+                           std::size_t k);
+
+/// Render a one-line summary.
+std::string summarize(const CampaignStats& stats);
+
+}  // namespace sent::pipeline

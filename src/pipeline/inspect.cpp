@@ -1,0 +1,128 @@
+#include "pipeline/inspect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sent::pipeline {
+
+namespace {
+
+std::string item_text(const trace::LifecycleItem& item) {
+  std::ostringstream os;
+  switch (item.kind) {
+    case trace::LifecycleKind::PostTask:
+      os << "postTask(" << item.arg << ")";
+      break;
+    case trace::LifecycleKind::RunTask:
+      os << "runTask(" << item.arg << ")";
+      break;
+    case trace::LifecycleKind::Int:
+      os << "int(" << item.arg << ")";
+      break;
+    case trace::LifecycleKind::Reti:
+      os << "reti";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_interval_detail(const trace::NodeTrace& trace,
+                                   const AnalysisReport& report,
+                                   std::size_t rank_position,
+                                   std::size_t max_timeline_rows,
+                                   std::size_t max_deviations) {
+  SENT_REQUIRE(rank_position < report.ranking.size());
+  const RankedEntry& entry = report.ranking[rank_position];
+  const Sample& sample = report.samples[entry.sample_index];
+  const core::EventInterval& interval = sample.interval;
+
+  std::ostringstream os;
+  os << "rank " << rank_position + 1 << ": interval of int("
+     << int(interval.irq) << ") instance #" << interval.seq_in_type + 1
+     << " on node " << sample.node_id << ", score "
+     << entry.score << "\n";
+  os << "window: [" << interval.start_cycle << ", " << interval.end_cycle
+     << "] cycles  (" << sim::millis_from_cycles(interval.duration())
+     << " ms, " << interval.task_count << " task(s)"
+     << (interval.truncated ? ", truncated" : "") << ")";
+  if (sample.has_bug) {
+    os << "  <-- ground truth:";
+    for (const auto& kind : sample.bug_kinds) os << ' ' << kind;
+  }
+  os << "\n\nlifecycle timeline (indent = handler nesting):\n";
+
+  // All items whose timestamp falls inside the window — including items of
+  // interleaved foreign instances, which is exactly what the inspector
+  // needs to see.
+  std::size_t depth = 0;
+  std::size_t rows = 0;
+  bool elided = false;
+  for (const auto& item : trace.lifecycle) {
+    if (item.cycle < interval.start_cycle) {
+      // Track nesting so the window starts at the right depth.
+      if (item.kind == trace::LifecycleKind::Int) ++depth;
+      if (item.kind == trace::LifecycleKind::Reti && depth > 0) --depth;
+      continue;
+    }
+    if (item.cycle > interval.end_cycle) break;
+    if (item.kind == trace::LifecycleKind::Reti && depth > 0) --depth;
+    if (rows < max_timeline_rows) {
+      double ms = sim::millis_from_cycles(item.cycle - interval.start_cycle);
+      char when[32];
+      std::snprintf(when, sizeof(when), "%+9.3f ms  ", ms);
+      os << when;
+      for (std::size_t d = 0; d < depth; ++d) os << "  ";
+      os << item_text(item) << '\n';
+    } else {
+      elided = true;
+    }
+    ++rows;
+    if (item.kind == trace::LifecycleKind::Int) ++depth;
+  }
+  if (elided)
+    os << "          ... (" << rows - max_timeline_rows
+       << " more items elided)\n";
+
+  if (!report.features.rows.empty() && max_deviations > 0) {
+    // Deviation of this interval's counter from the population mean, in
+    // population standard deviations.
+    const auto& rows_all = report.features.rows;
+    const auto& row = rows_all[entry.sample_index];
+    std::size_t d = report.features.dim();
+    std::vector<double> mean(d, 0.0), sd(d, 0.0);
+    for (const auto& r : rows_all)
+      for (std::size_t j = 0; j < d; ++j) mean[j] += r[j];
+    for (double& m : mean) m /= double(rows_all.size());
+    for (const auto& r : rows_all)
+      for (std::size_t j = 0; j < d; ++j)
+        sd[j] += (r[j] - mean[j]) * (r[j] - mean[j]);
+    for (double& s : sd) s = std::sqrt(s / double(rows_all.size()));
+
+    std::vector<std::size_t> order(d);
+    for (std::size_t j = 0; j < d; ++j) order[j] = j;
+    auto z = [&](std::size_t j) {
+      return std::abs(row[j] - mean[j]) / std::max(sd[j], 0.1);
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return z(a) > z(b); });
+
+    os << "\nmost deviant instruction counts (this interval vs population "
+          "mean):\n";
+    for (std::size_t k = 0; k < std::min(max_deviations, d); ++k) {
+      std::size_t j = order[k];
+      if (z(j) < 1.0) break;
+      char line[160];
+      std::snprintf(line, sizeof(line), "  %-40s %6.1f   (mean %.2f)\n",
+                    report.features.names[j].c_str(), row[j], mean[j]);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sent::pipeline

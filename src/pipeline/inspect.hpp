@@ -1,0 +1,28 @@
+// Manual-inspection rendering.
+//
+// Sentomist's output is a priority order for HUMAN inspection; this module
+// renders what the human actually looks at: the suspicious interval's
+// lifecycle timeline (with handler-nesting indentation, so interleaved
+// instances are visually obvious) and the instructions whose counts
+// deviate most from the population average. The fig5 benches and the
+// analyze_traces CLI print this for the top-ranked intervals.
+#pragma once
+
+#include <string>
+
+#include "pipeline/sentomist.hpp"
+
+namespace sent::pipeline {
+
+/// Render the interval at `rank_position` (0 = most suspicious) of the
+/// ranking. `trace` must be the trace the sample came from (match
+/// Sample::node_id / run when pooling several traces). Including the
+/// per-instruction deviation section requires the report to have been
+/// produced with keep_features = true; it is skipped otherwise.
+std::string render_interval_detail(const trace::NodeTrace& trace,
+                                   const AnalysisReport& report,
+                                   std::size_t rank_position,
+                                   std::size_t max_timeline_rows = 30,
+                                   std::size_t max_deviations = 6);
+
+}  // namespace sent::pipeline

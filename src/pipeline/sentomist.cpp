@@ -1,0 +1,225 @@
+#include "pipeline/sentomist.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ml/ocsvm.hpp"
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace sent::pipeline {
+
+const char* to_string(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::InstructionCounter: return "instruction-counter";
+    case FeatureKind::Coarse: return "coarse";
+    case FeatureKind::CodeObject: return "code-object";
+  }
+  return "?";
+}
+
+std::string Sample::label(bool with_run, bool with_node) const {
+  std::ostringstream os;
+  std::size_t seq1 = interval.seq_in_type + 1;
+  if (with_run && with_node) {
+    os << "[" << run + 1 << ", " << node_id << ", " << seq1 << "]";
+  } else if (with_run) {
+    os << "[" << run + 1 << ", " << seq1 << "]";
+  } else if (with_node) {
+    os << "[" << node_id << ", " << seq1 << "]";
+  } else {
+    os << seq1;
+  }
+  return os.str();
+}
+
+std::shared_ptr<core::OutlierDetector> default_detector() {
+  return std::make_shared<ml::OneClassSvm>();
+}
+
+namespace {
+
+core::FeatureMatrix featurize(const trace::NodeTrace& trace,
+                              std::span<const core::EventInterval> intervals,
+                              FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::InstructionCounter:
+      return core::instruction_counters(trace, intervals);
+    case FeatureKind::Coarse:
+      return core::coarse_features(trace, intervals);
+    case FeatureKind::CodeObject:
+      return core::code_object_counters(trace, intervals);
+  }
+  SENT_ASSERT_MSG(false, "unknown feature kind");
+  return {};
+}
+
+bool marker_in_window(const trace::BugMarker& bug,
+                      const core::EventInterval& interval) {
+  return bug.cycle >= interval.start_cycle &&
+         bug.cycle <= interval.end_cycle;
+}
+
+}  // namespace
+
+AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
+                       trace::IrqLine line, const AnalysisOptions& options) {
+  SENT_REQUIRE_MSG(!traces.empty(), "no traces to analyze");
+
+  AnalysisReport report;
+  core::FeatureMatrix matrix;
+
+  for (const auto& tagged : traces) {
+    SENT_REQUIRE(tagged.trace != nullptr);
+    const trace::NodeTrace& node_trace = *tagged.trace;
+    core::Anatomizer anatomizer(node_trace);
+    std::vector<core::EventInterval> intervals =
+        anatomizer.intervals_for(line);
+    if (options.drop_truncated) {
+      intervals.erase(std::remove_if(intervals.begin(), intervals.end(),
+                                     [](const core::EventInterval& i) {
+                                       return i.truncated;
+                                     }),
+                      intervals.end());
+    }
+    if (intervals.empty()) continue;
+
+    core::FeatureMatrix part = featurize(node_trace, intervals,
+                                         options.features);
+    core::append_rows(matrix, part);
+
+    for (const auto& interval : intervals) {
+      Sample s;
+      s.node_id = node_trace.node_id;
+      s.run = tagged.run;
+      s.interval = interval;
+      for (const auto& bug : node_trace.bugs) {
+        if (marker_in_window(bug, interval)) {
+          s.has_bug = true;
+          s.bug_kinds.push_back(bug.kind);
+        }
+      }
+      report.samples.push_back(std::move(s));
+    }
+  }
+
+  SENT_REQUIRE_MSG(!report.samples.empty(),
+                   "no event-handling intervals for line "
+                       << int(line) << " in the given traces");
+
+  std::shared_ptr<core::OutlierDetector> detector =
+      options.detector ? options.detector : default_detector();
+  report.detector_name = detector->name();
+  report.feature_dim = matrix.dim();
+
+  report.scores = detector->score(matrix.rows);
+  SENT_ASSERT(report.scores.size() == report.samples.size());
+  core::normalize_scores(report.scores);
+
+  auto ranked = core::rank_ascending(report.scores);
+  report.ranking.reserve(ranked.size());
+  for (const auto& r : ranked)
+    report.ranking.push_back(RankedEntry{r.index, r.score});
+  if (options.keep_features) report.features = std::move(matrix);
+  return report;
+}
+
+core::Localization localize_top_k(const AnalysisReport& report,
+                                  std::size_t k) {
+  SENT_REQUIRE_MSG(!report.features.rows.empty(),
+                   "localize_top_k needs keep_features = true");
+  return core::localize(report.features,
+                        core::lowest_k(report.scores, k));
+}
+
+std::string format_localization(const core::Localization& localization,
+                                std::size_t max_instructions,
+                                std::size_t max_objects) {
+  std::ostringstream os;
+  {
+    util::Table table({"suspect code object", "suspicion"});
+    for (std::size_t i = 0;
+         i < std::min(max_objects, localization.code_objects.size()); ++i) {
+      const auto& o = localization.code_objects[i];
+      table.add_row({o.code_object, util::cell(o.score, 2)});
+    }
+    os << table.render() << '\n';
+  }
+  {
+    util::Table table({"suspect instruction", "suspicion",
+                       "mean (suspicious)", "mean (normal)"});
+    for (std::size_t i = 0;
+         i < std::min(max_instructions, localization.instructions.size());
+         ++i) {
+      const auto& instr = localization.instructions[i];
+      table.add_row({instr.name, util::cell(instr.score, 2),
+                     util::cell(instr.suspicious_mean, 2),
+                     util::cell(instr.normal_mean, 2)});
+    }
+    os << table.render();
+  }
+  return os.str();
+}
+
+std::vector<std::size_t> AnalysisReport::bug_ranks() const {
+  std::vector<std::size_t> ranks;
+  for (std::size_t pos = 0; pos < ranking.size(); ++pos) {
+    if (samples[ranking[pos].sample_index].has_bug)
+      ranks.push_back(pos + 1);
+  }
+  return ranks;
+}
+
+std::size_t AnalysisReport::buggy_count() const {
+  std::size_t n = 0;
+  for (const auto& s : samples) n += s.has_bug;
+  return n;
+}
+
+double AnalysisReport::precision_at(std::size_t k) const {
+  SENT_REQUIRE(k >= 1);
+  k = std::min(k, ranking.size());
+  std::size_t hits = 0;
+  for (std::size_t pos = 0; pos < k; ++pos)
+    hits += samples[ranking[pos].sample_index].has_bug;
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+std::size_t AnalysisReport::inspection_depth_for_all() const {
+  auto ranks = bug_ranks();
+  return ranks.empty() ? 0 : ranks.back();
+}
+
+std::size_t AnalysisReport::first_bug_rank() const {
+  auto ranks = bug_ranks();
+  return ranks.empty() ? 0 : ranks.front();
+}
+
+std::string format_ranking_table(const AnalysisReport& report, bool with_run,
+                                 bool with_node, std::size_t top,
+                                 std::size_t bottom) {
+  util::Table table({"Instance Index", "Score", "Bug (ground truth)"});
+  auto add = [&](std::size_t pos) {
+    const RankedEntry& entry = report.ranking[pos];
+    const Sample& s = report.samples[entry.sample_index];
+    std::string truth;
+    if (s.has_bug) {
+      truth = s.bug_kinds.front();
+      if (s.bug_kinds.size() > 1)
+        truth += " (x" + std::to_string(s.bug_kinds.size()) + ")";
+    }
+    table.add_row({s.label(with_run, with_node), util::cell(entry.score, 4),
+                   truth});
+  };
+  std::size_t n = report.ranking.size();
+  if (n <= top + bottom) {
+    for (std::size_t pos = 0; pos < n; ++pos) add(pos);
+    return table.render();
+  }
+  for (std::size_t pos = 0; pos < top; ++pos) add(pos);
+  table.add_row({"...", "...", ""});
+  for (std::size_t pos = n - bottom; pos < n; ++pos) add(pos);
+  return table.render();
+}
+
+}  // namespace sent::pipeline

@@ -1,0 +1,18 @@
+// Active-message type registry.
+//
+// Data frames carry an am_type used to demultiplex to the owning protocol,
+// mirroring TinyOS active messages.
+#pragma once
+
+#include <cstdint>
+
+namespace sent::proto::am {
+
+inline constexpr std::uint8_t kOscilloscope = 10;  ///< case I readings
+inline constexpr std::uint8_t kForward = 11;       ///< case II relay traffic
+inline constexpr std::uint8_t kCtpData = 20;       ///< case III data
+inline constexpr std::uint8_t kCtpBeacon = 21;     ///< case III routing
+inline constexpr std::uint8_t kHeartbeat = 30;     ///< case III liveness
+inline constexpr std::uint8_t kDissemination = 40; ///< case IV value updates
+
+}  // namespace sent::proto::am

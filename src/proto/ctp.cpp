@@ -1,0 +1,152 @@
+#include "proto/ctp.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sent::proto {
+
+namespace {
+constexpr std::size_t kSeenCacheCapacity = 64;
+constexpr std::uint16_t kLinkCost = 1;
+}  // namespace
+
+CtpNode::CtpNode(CtpConfig config) : config_(config) {
+  SENT_REQUIRE(config_.queue_capacity > 0);
+}
+
+std::uint16_t CtpNode::path_etx() const {
+  if (config_.is_root) return 0;
+  if (!parent_) return kNoRoute;
+  auto it = neighbors_.find(*parent_);
+  SENT_ASSERT(it != neighbors_.end());
+  return static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(it->second.advertised_etx + kLinkCost,
+                              kNoRoute));
+}
+
+net::Packet CtpNode::make_beacon() const {
+  net::Packet beacon;
+  beacon.type = net::FrameType::Data;
+  beacon.dst = net::kBroadcast;
+  beacon.am_type = am::kCtpBeacon;
+  beacon.origin = config_.self;
+  net::put_u16(beacon.payload, path_etx());
+  return beacon;
+}
+
+void CtpNode::on_beacon(const net::Packet& beacon) {
+  SENT_REQUIRE(beacon.am_type == am::kCtpBeacon);
+  SENT_REQUIRE(beacon.payload.size() >= 2);
+  std::uint16_t etx = net::get_u16(beacon.payload, 0);
+  neighbors_[beacon.src].advertised_etx = etx;
+  choose_parent();
+}
+
+void CtpNode::choose_parent() {
+  if (config_.is_root) return;  // the root routes to itself
+  std::optional<net::NodeId> best;
+  std::uint32_t best_etx = kNoRoute;
+  for (const auto& [id, nb] : neighbors_) {
+    if (nb.advertised_etx == kNoRoute) continue;  // neighbor has no route
+    std::uint32_t via = nb.advertised_etx + kLinkCost;
+    if (via < best_etx) {
+      best_etx = via;
+      best = id;
+    }
+  }
+  parent_ = best;
+}
+
+bool CtpNode::enqueue(net::Packet packet) {
+  if (config_.is_root) {
+    // Data reaching the root is delivered, not queued.
+    count_root_delivery();
+    return true;
+  }
+  if (!parent_) {
+    ++drops_no_route_;
+    return false;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    ++drops_full_;
+    return false;
+  }
+  queue_.push_back(QueueEntry{std::move(packet), 0});
+  return true;
+}
+
+bool CtpNode::enqueue_local(std::uint16_t reading) {
+  net::Packet p;
+  p.type = net::FrameType::Data;
+  p.am_type = am::kCtpData;
+  p.origin = config_.self;
+  p.seq = next_seq_++;
+  net::put_u16(p.payload, reading);
+  remember(p.origin, p.seq);
+  return enqueue(std::move(p));
+}
+
+bool CtpNode::enqueue_forward(const net::Packet& packet) {
+  SENT_REQUIRE(packet.am_type == am::kCtpData);
+  if (seen_before(packet.origin, packet.seq)) {
+    ++drops_dup_;
+    return false;
+  }
+  remember(packet.origin, packet.seq);
+  return enqueue(packet);
+}
+
+net::Packet CtpNode::head_for_send() const {
+  SENT_REQUIRE_MSG(!queue_.empty(), "head_for_send on empty CTP queue");
+  SENT_REQUIRE_MSG(parent_.has_value(), "head_for_send with no route");
+  net::Packet p = queue_.front().packet;
+  p.dst = *parent_;
+  return p;
+}
+
+bool CtpNode::on_send_fail() {
+  ++send_fails_;
+  if (config_.fix_send_fail) {
+    // Repaired variant: acknowledge the failure and release the engine so
+    // the packet can be retried on the next pump.
+    sending_ = false;
+    return false;
+  }
+  // BUG (unchanged from the original): the FAIL status is not handled;
+  // `sending_` stays set and no send-done will ever arrive.
+  bool first = !hung_;
+  hung_ = true;
+  return first;
+}
+
+bool CtpNode::on_send_done(hw::TxStatus status) {
+  sending_ = false;
+  SENT_ASSERT_MSG(!queue_.empty(), "send-done with empty queue");
+  if (status == hw::TxStatus::Success) {
+    queue_.pop_front();
+  } else {
+    QueueEntry& head = queue_.front();
+    if (++head.retx > config_.max_retx) {
+      ++drops_retx_;
+      queue_.pop_front();
+    }
+  }
+  return !queue_.empty();
+}
+
+void CtpNode::remember(net::NodeId origin, std::uint16_t seq) {
+  if (seen_.insert({origin, seq}).second) {
+    seen_order_.push_back({origin, seq});
+    if (seen_order_.size() > kSeenCacheCapacity) {
+      seen_.erase(seen_order_.front());
+      seen_order_.pop_front();
+    }
+  }
+}
+
+bool CtpNode::seen_before(net::NodeId origin, std::uint16_t seq) const {
+  return seen_.count({origin, seq}) > 0;
+}
+
+}  // namespace sent::proto

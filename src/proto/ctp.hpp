@@ -1,0 +1,134 @@
+// Collection Tree Protocol (CTP) — routing + forwarding engines.
+//
+// A faithful-in-structure reimplementation of the TinyOS 2.1.0 CTP pieces
+// case study III exercises:
+//   * routing engine: periodic beacons advertising path ETX, neighbor
+//     table, min-ETX parent selection;
+//   * forwarding engine: bounded send queue, one in-flight packet guarded
+//     by a `sending` mark, link-layer retransmissions on NoAck, duplicate
+//     suppression on (origin, seq).
+//
+// THE BUG (paper §VI-D): the forwarding engine sets its `sending` mark and
+// then calls the radio; when the radio returns FAIL (chip busy — e.g. a
+// co-existing heartbeat protocol owns it), the failure status is unhandled:
+// the mark "is not reset. Hence, all the following packets are not sent out
+// and the CTP protocol at the node hangs." on_send_fail() reproduces
+// exactly that; construct with fix_send_fail=true for the repaired variant.
+//
+// These classes hold protocol *state*; the per-step logic is invoked from
+// virtual instructions built by apps::CtpHeartbeatApp so every branch shows
+// up in the instruction counters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "hw/radio.hpp"
+#include "net/packet.hpp"
+#include "proto/am.hpp"
+
+namespace sent::proto {
+
+struct CtpConfig {
+  net::NodeId self = 0;
+  bool is_root = false;
+  std::size_t queue_capacity = 8;
+  std::uint32_t max_retx = 3;  ///< app-level retransmissions on NoAck
+  bool fix_send_fail = false;  ///< repaired variant clears `sending` on FAIL
+};
+
+class CtpNode {
+ public:
+  explicit CtpNode(CtpConfig config);
+
+  // ---- routing engine ---------------------------------------------------
+
+  /// Path ETX advertised in beacons: 0 at the root, parent ETX + 1 link
+  /// otherwise; kNoRoute when no parent is known yet.
+  static constexpr std::uint16_t kNoRoute = 0xFFFF;
+  std::uint16_t path_etx() const;
+  std::optional<net::NodeId> parent() const { return parent_; }
+
+  net::Packet make_beacon() const;
+  void on_beacon(const net::Packet& beacon);
+
+  // ---- forwarding engine -------------------------------------------------
+
+  /// Queue a locally-generated reading. Returns false when the queue is
+  /// full or the node has no route yet.
+  bool enqueue_local(std::uint16_t reading);
+
+  /// Queue a packet received for forwarding. Duplicate (origin, seq) pairs
+  /// are suppressed; returns false on duplicate/full/no-route.
+  bool enqueue_forward(const net::Packet& packet);
+
+  bool has_pending() const { return !queue_.empty(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  bool sending() const { return sending_; }
+
+  /// Head packet addressed to the current parent, ready for the radio.
+  net::Packet head_for_send() const;
+
+  /// Forwarding-engine send path, split so app instructions mirror the
+  /// original code structure:
+  void mark_sending() { sending_ = true; }  // set BEFORE calling the radio
+
+  /// Radio accepted the packet: nothing to do until send-done.
+  void on_send_accepted() {}
+
+  /// Radio returned FAIL (busy). In the buggy variant this is a no-op —
+  /// `sending` stays set forever (returns true if this call wedged the
+  /// node, i.e. first manifestation). The fixed variant clears the mark.
+  bool on_send_fail();
+
+  /// Send-done from the SPI path.
+  /// Returns true when another send should be pumped (queue non-empty).
+  bool on_send_done(hw::TxStatus status);
+
+  /// True once the unhandled-FAIL bug has wedged this node.
+  bool hung() const { return hung_; }
+
+  // ---- statistics --------------------------------------------------------
+
+  std::uint64_t delivered_to_root() const { return delivered_root_; }
+  void count_root_delivery() { ++delivered_root_; }
+  std::uint64_t drops_queue_full() const { return drops_full_; }
+  std::uint64_t drops_no_route() const { return drops_no_route_; }
+  std::uint64_t drops_duplicate() const { return drops_dup_; }
+  std::uint64_t drops_retx_exhausted() const { return drops_retx_; }
+  std::uint64_t send_fail_events() const { return send_fails_; }
+
+  const CtpConfig& config() const { return config_; }
+
+ private:
+  struct QueueEntry {
+    net::Packet packet;
+    std::uint32_t retx = 0;
+  };
+  struct Neighbor {
+    std::uint16_t advertised_etx = kNoRoute;
+  };
+
+  CtpConfig config_;
+  std::optional<net::NodeId> parent_;
+  std::map<net::NodeId, Neighbor> neighbors_;
+  std::deque<QueueEntry> queue_;
+  bool sending_ = false;
+  bool hung_ = false;
+  std::uint16_t next_seq_ = 0;
+  std::set<std::pair<net::NodeId, std::uint16_t>> seen_;
+  std::deque<std::pair<net::NodeId, std::uint16_t>> seen_order_;
+
+  std::uint64_t delivered_root_ = 0, drops_full_ = 0, drops_no_route_ = 0,
+                drops_dup_ = 0, drops_retx_ = 0, send_fails_ = 0;
+
+  void choose_parent();
+  void remember(net::NodeId origin, std::uint16_t seq);
+  bool seen_before(net::NodeId origin, std::uint16_t seq) const;
+  bool enqueue(net::Packet packet);
+};
+
+}  // namespace sent::proto

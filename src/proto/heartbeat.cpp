@@ -1,0 +1,37 @@
+#include "proto/heartbeat.hpp"
+
+#include "util/assert.hpp"
+
+namespace sent::proto {
+
+Heartbeat::Heartbeat(net::NodeId self, std::size_t padding_bytes)
+    : self_(self), padding_bytes_(padding_bytes) {}
+
+net::Packet Heartbeat::make_heartbeat() {
+  net::Packet p;
+  p.type = net::FrameType::Data;
+  p.dst = net::kBroadcast;
+  p.am_type = am::kHeartbeat;
+  p.origin = self_;
+  p.seq = seq_++;
+  p.payload.assign(padding_bytes_, 0xAB);
+  ++sent_;
+  return p;
+}
+
+void Heartbeat::on_heartbeat(const net::Packet& packet, sim::Cycle now) {
+  SENT_REQUIRE(packet.am_type == am::kHeartbeat);
+  last_seen_[packet.src] = now;
+}
+
+std::size_t Heartbeat::alive_neighbors(sim::Cycle now,
+                                       sim::Cycle window) const {
+  std::size_t alive = 0;
+  for (const auto& [id, seen] : last_seen_) {
+    (void)id;
+    if (now - seen <= window) ++alive;
+  }
+  return alive;
+}
+
+}  // namespace sent::proto

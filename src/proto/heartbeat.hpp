@@ -1,0 +1,45 @@
+// Heartbeat protocol (paper §VI-D).
+//
+// "We also implement a heartbeat message exchange protocol for monitoring
+// the life conditions of sensor nodes, where a sensor node sends a
+// heartbeat message to its neighbors every 500ms." The heartbeat competes
+// with CTP for the single radio chip — the uncoordinated resource
+// contention that triggers case study III's bug.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/packet.hpp"
+#include "proto/am.hpp"
+#include "sim/time.hpp"
+
+namespace sent::proto {
+
+class Heartbeat {
+ public:
+  /// `padding_bytes` sizes the heartbeat payload; a larger heartbeat holds
+  /// the radio longer and widens the contention window.
+  Heartbeat(net::NodeId self, std::size_t padding_bytes = 24);
+
+  net::Packet make_heartbeat();
+
+  void on_heartbeat(const net::Packet& packet, sim::Cycle now);
+
+  /// Neighbors heard within `window` of `now`.
+  std::size_t alive_neighbors(sim::Cycle now, sim::Cycle window) const;
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t skipped_busy() const { return skipped_busy_; }
+  void count_skip_busy() { ++skipped_busy_; }
+
+ private:
+  net::NodeId self_;
+  std::size_t padding_bytes_;
+  std::uint16_t seq_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t skipped_busy_ = 0;
+  std::map<net::NodeId, sim::Cycle> last_seen_;
+};
+
+}  // namespace sent::proto

@@ -1,0 +1,53 @@
+#include "proto/trickle.hpp"
+
+namespace sent::proto {
+
+Trickle::Trickle(TrickleParams params, util::Rng rng)
+    : params_(params), rng_(rng), interval_(params.imin) {
+  SENT_REQUIRE(params_.imin > 1);
+  SENT_REQUIRE(params_.doublings <= 24);
+  SENT_REQUIRE(params_.redundancy >= 1);
+}
+
+sim::Cycle Trickle::pick_fire_delay() {
+  // Uniform in [I/2, I).
+  sim::Cycle half = interval_ / 2;
+  return half + static_cast<sim::Cycle>(rng_.below(interval_ - half));
+}
+
+sim::Cycle Trickle::begin_interval(sim::Cycle length) {
+  interval_ = length;
+  counter_ = 0;
+  fired_this_interval_ = false;
+  sim::Cycle fire = pick_fire_delay();
+  fire_to_end_ = interval_ - fire;
+  return fire;
+}
+
+sim::Cycle Trickle::start() { return begin_interval(params_.imin); }
+
+Trickle::Step Trickle::advance() {
+  Step step;
+  if (!fired_this_interval_) {
+    // This expiry is the fire point.
+    fired_this_interval_ = true;
+    step.transmit = counter_ < params_.redundancy;
+    if (step.transmit)
+      ++granted_;
+    else
+      ++suppressed_;
+    step.next_delay = fire_to_end_;
+    return step;
+  }
+  // This expiry is the interval end: double and start over.
+  sim::Cycle next = std::min(interval_ * 2, imax());
+  step.transmit = false;
+  step.next_delay = begin_interval(next);
+  return step;
+}
+
+sim::Cycle Trickle::on_inconsistent() {
+  return begin_interval(params_.imin);
+}
+
+}  // namespace sent::proto

@@ -1,0 +1,78 @@
+// The Trickle algorithm (Levis et al.; RFC 6206) — the timer that drives
+// TinyOS dissemination protocols such as Drip/DIP.
+//
+// Each node maintains an interval I in [Imin, Imin * 2^doublings]. Within
+// every interval it picks a random fire point t in [I/2, I): at t it
+// transmits its summary unless it has already heard k consistent
+// summaries this interval; at the interval's end, I doubles and a new
+// interval begins. Hearing an INCONSISTENT summary resets I to Imin, which
+// makes updates propagate fast while steady-state traffic decays
+// exponentially.
+//
+// The class is a pure state machine over virtual time; the application
+// owns the actual timer line and drives it with advance()/on_*() calls
+// from its handler instructions, so every Trickle decision shows up in the
+// instruction counters.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sent::proto {
+
+struct TrickleParams {
+  sim::Cycle imin = sim::cycles_from_millis(100);
+  std::uint32_t doublings = 6;   ///< Imax = Imin * 2^doublings
+  std::uint32_t redundancy = 2;  ///< the k constant
+};
+
+class Trickle {
+ public:
+  explicit Trickle(TrickleParams params, util::Rng rng);
+
+  /// Begin the first interval. Returns the delay to the first timer event.
+  sim::Cycle start();
+
+  /// What the expiring timer event means and what to do next.
+  struct Step {
+    bool transmit = false;   ///< fire point reached with counter < k
+    sim::Cycle next_delay;   ///< re-arm the one-shot timer with this
+  };
+
+  /// Called from the timer handler each time the Trickle timer expires.
+  Step advance();
+
+  /// A consistent summary was heard: suppress (counter++).
+  void on_consistent() { ++counter_; }
+
+  /// An inconsistent summary was heard. Returns the delay to the next
+  /// timer event after resetting to Imin — the caller must re-arm its
+  /// timer with it (cancelling any pending one).
+  sim::Cycle on_inconsistent();
+
+  sim::Cycle interval() const { return interval_; }
+  std::uint32_t counter() const { return counter_; }
+  std::uint64_t transmissions_granted() const { return granted_; }
+  std::uint64_t suppressions() const { return suppressed_; }
+
+ private:
+  TrickleParams params_;
+  util::Rng rng_;
+  sim::Cycle interval_;
+  std::uint32_t counter_ = 0;
+  bool fired_this_interval_ = false;
+  std::uint64_t granted_ = 0, suppressed_ = 0;
+
+  sim::Cycle imax() const {
+    return params_.imin << params_.doublings;
+  }
+  /// Delay from interval start to the random fire point.
+  sim::Cycle pick_fire_delay();
+  sim::Cycle begin_interval(sim::Cycle length);
+  sim::Cycle fire_to_end_;  ///< remainder of the interval after the fire
+};
+
+}  // namespace sent::proto

@@ -1,0 +1,90 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sent::sim {
+
+EventId EventQueue::schedule_at(Cycle at, std::function<void()> fn) {
+  SENT_REQUIRE_MSG(at >= now_, "cannot schedule in the past: at=" << at
+                                                                  << " now=" << now_);
+  SENT_REQUIRE(fn != nullptr);
+  EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+EventId EventQueue::schedule_after(Cycle delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (is_cancelled(id)) return false;
+  // We cannot remove from the heap; mark and skip at pop time. We cannot
+  // tell fired from unknown ids cheaply, so conservatively record the mark;
+  // it is purged when (or if) the entry surfaces.
+  cancelled_.push_back(id);
+  if (live_ > 0) --live_;
+  return true;
+}
+
+bool EventQueue::is_cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+         cancelled_.end();
+}
+
+void EventQueue::forget_cancelled(EventId id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it != cancelled_.end()) cancelled_.erase(it);
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (is_cancelled(e.id)) {
+      forget_cancelled(e.id);
+      continue;
+    }
+    SENT_ASSERT(e.at >= now_);
+    now_ = e.at;
+    --live_;
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(Cycle until) {
+  for (;;) {
+    // Peek for the next live entry.
+    while (!heap_.empty() && is_cancelled(heap_.top().id)) {
+      forget_cancelled(heap_.top().id);
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().at > until) return;
+    step();
+  }
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+void EventQueue::advance_to(Cycle to) {
+  SENT_REQUIRE(to >= now_);
+  while (!heap_.empty() && is_cancelled(heap_.top().id)) {
+    forget_cancelled(heap_.top().id);
+    heap_.pop();
+  }
+  SENT_REQUIRE_MSG(heap_.empty() || heap_.top().at >= to,
+                   "advance_to would skip a pending event");
+  now_ = to;
+}
+
+}  // namespace sent::sim

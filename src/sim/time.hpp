@@ -1,0 +1,37 @@
+// Virtual time.
+//
+// All simulation time is measured in MCU clock cycles of a Mica2-class mote
+// (ATmega128 @ 7.3728 MHz), the platform the paper's case studies run on.
+#pragma once
+
+#include <cstdint>
+
+namespace sent::sim {
+
+/// A point in virtual time, in MCU cycles since simulation start.
+using Cycle = std::uint64_t;
+
+/// Mica2 / ATmega128L clock frequency.
+inline constexpr Cycle kCyclesPerSecond = 7'372'800;
+
+constexpr Cycle cycles_from_seconds(double s) {
+  return static_cast<Cycle>(s * static_cast<double>(kCyclesPerSecond));
+}
+
+constexpr Cycle cycles_from_millis(double ms) {
+  return cycles_from_seconds(ms / 1e3);
+}
+
+constexpr Cycle cycles_from_micros(double us) {
+  return cycles_from_seconds(us / 1e6);
+}
+
+constexpr double seconds_from_cycles(Cycle c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerSecond);
+}
+
+constexpr double millis_from_cycles(Cycle c) {
+  return seconds_from_cycles(c) * 1e3;
+}
+
+}  // namespace sent::sim

@@ -1,0 +1,78 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/table.hpp"
+
+namespace sent::trace {
+
+namespace {
+
+template <typename NameFn>
+Profile build_profile(const NodeTrace& trace, sim::Cycle begin,
+                      sim::Cycle end, NameFn&& name_of) {
+  SENT_REQUIRE_MSG(!trace.instr_table.empty(),
+                   "trace has no instruction table");
+  SENT_REQUIRE(begin <= end);
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> agg;
+  Profile p;
+  auto lo = std::lower_bound(
+      trace.instrs.begin(), trace.instrs.end(), begin,
+      [](const InstrExec& e, sim::Cycle c) { return e.cycle < c; });
+  for (auto it = lo; it != trace.instrs.end() && it->cycle <= end; ++it) {
+    const InstrMeta& meta = trace.instr_table[it->instr];
+    auto& entry = agg[name_of(meta)];
+    entry.first += 1;
+    entry.second += meta.cycles;
+    p.total_executions += 1;
+    p.total_cycles += meta.cycles;
+  }
+  p.entries.reserve(agg.size());
+  for (const auto& [name, counts] : agg) {
+    ProfileEntry e;
+    e.name = name;
+    e.executions = counts.first;
+    e.cycles = counts.second;
+    e.cycle_share = p.total_cycles == 0
+                        ? 0.0
+                        : double(e.cycles) / double(p.total_cycles);
+    p.entries.push_back(std::move(e));
+  }
+  std::stable_sort(p.entries.begin(), p.entries.end(),
+                   [](const ProfileEntry& a, const ProfileEntry& b) {
+                     return a.cycles > b.cycles;
+                   });
+  return p;
+}
+
+}  // namespace
+
+Profile profile_code_objects(const NodeTrace& trace, sim::Cycle begin,
+                             sim::Cycle end) {
+  return build_profile(trace, begin, end,
+                       [](const InstrMeta& m) { return m.code_object; });
+}
+
+Profile profile_instructions(const NodeTrace& trace, sim::Cycle begin,
+                             sim::Cycle end) {
+  return build_profile(trace, begin, end, [](const InstrMeta& m) {
+    return m.code_object + "/" + m.name;
+  });
+}
+
+std::string Profile::render(std::size_t max_rows) const {
+  util::Table table({"code", "executions", "cycles", "share"});
+  for (std::size_t i = 0; i < std::min(max_rows, entries.size()); ++i) {
+    const ProfileEntry& e = entries[i];
+    table.add_row({e.name, util::cell(e.executions), util::cell(e.cycles),
+                   util::cell(e.cycle_share * 100.0, 1) + "%"});
+  }
+  std::string out = table.render();
+  out += "total: " + std::to_string(total_executions) + " executions, " +
+         std::to_string(total_cycles) + " cycles\n";
+  return out;
+}
+
+}  // namespace sent::trace

@@ -1,0 +1,42 @@
+// Execution profiling from recorded traces (the flat-profile view an
+// Avrora monitor would give you).
+//
+// Aggregates the instruction stream into per-code-object and
+// per-instruction totals — executions and cycles — over the whole run or
+// any time window. Used by the inspection tooling to show "where did this
+// interval spend its time" and by examples as a standalone profiler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace sent::trace {
+
+struct ProfileEntry {
+  std::string name;          ///< code object, or "object/mnemonic"
+  std::uint64_t executions = 0;
+  std::uint64_t cycles = 0;  ///< executions x per-instruction cost
+
+  double cycle_share = 0.0;  ///< fraction of all profiled cycles
+};
+
+struct Profile {
+  std::vector<ProfileEntry> entries;  ///< descending by cycles
+  std::uint64_t total_executions = 0;
+  std::uint64_t total_cycles = 0;
+
+  /// Render as an aligned table, top `max_rows` rows.
+  std::string render(std::size_t max_rows = 12) const;
+};
+
+/// Profile the whole trace (or a [begin, end] window) per code object.
+Profile profile_code_objects(const NodeTrace& trace, sim::Cycle begin = 0,
+                             sim::Cycle end = ~sim::Cycle{0});
+
+/// Same, at individual-instruction granularity.
+Profile profile_instructions(const NodeTrace& trace, sim::Cycle begin = 0,
+                             sim::Cycle end = ~sim::Cycle{0});
+
+}  // namespace sent::trace

@@ -1,0 +1,186 @@
+#include "trace/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sent::trace {
+
+namespace {
+
+constexpr const char* kMagic = "SENTOMIST-TRACE";
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw MalformedTraceFile("malformed trace file: " + what);
+}
+
+std::string read_line(std::istream& in, const char* context) {
+  std::string line;
+  if (!std::getline(in, line)) malformed(std::string("EOF in ") + context);
+  return line;
+}
+
+// Fields within a line are tab-separated; names may contain spaces but
+// never tabs (CodeBuilder mnemonics are identifiers in practice).
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+std::uint64_t to_u64(const std::string& s, const char* context) {
+  try {
+    std::size_t pos = 0;
+    std::uint64_t v = std::stoull(s, &pos);
+    if (pos != s.size()) malformed(std::string("bad number in ") + context);
+    return v;
+  } catch (const std::logic_error&) {
+    malformed(std::string("bad number in ") + context);
+  }
+}
+
+char kind_code(LifecycleKind kind) {
+  switch (kind) {
+    case LifecycleKind::PostTask: return 'P';
+    case LifecycleKind::RunTask: return 'R';
+    case LifecycleKind::Int: return 'I';
+    case LifecycleKind::Reti: return 'X';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void save_trace(const NodeTrace& trace, std::ostream& out) {
+  out << kMagic << " v" << kTraceFormatVersion << '\n';
+  out << "node " << trace.node_id << '\n';
+  out << "run_end " << trace.run_end << '\n';
+
+  out << "instr_table " << trace.instr_table.size() << '\n';
+  for (const auto& meta : trace.instr_table)
+    out << meta.code_object << '\t' << meta.name << '\t' << meta.cycles
+        << '\n';
+
+  out << "lifecycle " << trace.lifecycle.size() << '\n';
+  for (const auto& item : trace.lifecycle) {
+    out << kind_code(item.kind) << '\t' << item.cycle << '\t' << item.arg;
+    if (item.kind == LifecycleKind::RunTask) out << '\t' << item.end_cycle;
+    out << '\n';
+  }
+
+  out << "instrs " << trace.instrs.size() << '\n';
+  sim::Cycle prev = 0;
+  for (const auto& e : trace.instrs) {
+    out << (e.cycle - prev) << '\t' << e.instr << '\n';
+    prev = e.cycle;
+  }
+
+  out << "bugs " << trace.bugs.size() << '\n';
+  for (const auto& bug : trace.bugs)
+    out << bug.cycle << '\t' << bug.kind << '\n';
+
+  out << "end\n";
+}
+
+NodeTrace load_trace(std::istream& in) {
+  NodeTrace trace;
+  {
+    std::string header = read_line(in, "header");
+    std::ostringstream expected;
+    expected << kMagic << " v" << kTraceFormatVersion;
+    if (header != expected.str()) malformed("bad header: " + header);
+  }
+  auto expect_section = [&](const char* name) -> std::uint64_t {
+    std::string line = read_line(in, name);
+    auto space = line.find(' ');
+    if (space == std::string::npos || line.substr(0, space) != name)
+      malformed(std::string("expected section ") + name + ", got: " + line);
+    return to_u64(line.substr(space + 1), name);
+  };
+
+  trace.node_id = static_cast<std::uint32_t>(expect_section("node"));
+  trace.run_end = expect_section("run_end");
+
+  std::uint64_t n_table = expect_section("instr_table");
+  trace.instr_table.reserve(n_table);
+  for (std::uint64_t i = 0; i < n_table; ++i) {
+    auto fields = split_tabs(read_line(in, "instr_table"));
+    if (fields.size() != 3) malformed("instr_table row arity");
+    trace.instr_table.push_back(
+        {fields[0], fields[1],
+         static_cast<std::uint32_t>(to_u64(fields[2], "instr cycles"))});
+  }
+
+  std::uint64_t n_items = expect_section("lifecycle");
+  trace.lifecycle.reserve(n_items);
+  for (std::uint64_t i = 0; i < n_items; ++i) {
+    auto fields = split_tabs(read_line(in, "lifecycle"));
+    if (fields.size() < 3 || fields[0].size() != 1)
+      malformed("lifecycle row");
+    LifecycleItem item;
+    switch (fields[0][0]) {
+      case 'P': item.kind = LifecycleKind::PostTask; break;
+      case 'R': item.kind = LifecycleKind::RunTask; break;
+      case 'I': item.kind = LifecycleKind::Int; break;
+      case 'X': item.kind = LifecycleKind::Reti; break;
+      default: malformed("lifecycle kind " + fields[0]);
+    }
+    item.cycle = to_u64(fields[1], "lifecycle cycle");
+    item.arg = static_cast<std::uint32_t>(to_u64(fields[2], "lifecycle arg"));
+    if (item.kind == LifecycleKind::RunTask) {
+      if (fields.size() != 4) malformed("runTask row needs end cycle");
+      item.end_cycle = to_u64(fields[3], "runTask end");
+    } else if (fields.size() != 3) {
+      malformed("lifecycle row arity");
+    }
+    trace.lifecycle.push_back(item);
+  }
+
+  std::uint64_t n_instrs = expect_section("instrs");
+  trace.instrs.reserve(n_instrs);
+  sim::Cycle prev = 0;
+  for (std::uint64_t i = 0; i < n_instrs; ++i) {
+    auto fields = split_tabs(read_line(in, "instrs"));
+    if (fields.size() != 2) malformed("instr row arity");
+    prev += to_u64(fields[0], "instr delta");
+    auto id = static_cast<InstrId>(to_u64(fields[1], "instr id"));
+    if (!trace.instr_table.empty() && id >= trace.instr_table.size())
+      malformed("instruction id out of table range");
+    trace.instrs.push_back({prev, id});
+  }
+
+  std::uint64_t n_bugs = expect_section("bugs");
+  trace.bugs.reserve(n_bugs);
+  for (std::uint64_t i = 0; i < n_bugs; ++i) {
+    auto fields = split_tabs(read_line(in, "bugs"));
+    if (fields.size() != 2) malformed("bug row arity");
+    trace.bugs.push_back({to_u64(fields[0], "bug cycle"), fields[1]});
+  }
+
+  if (read_line(in, "trailer") != "end") malformed("missing end marker");
+  return trace;
+}
+
+void save_trace_file(const NodeTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  SENT_REQUIRE_MSG(out.good(), "cannot open " << path << " for writing");
+  save_trace(trace, out);
+  SENT_REQUIRE_MSG(out.good(), "write to " << path << " failed");
+}
+
+NodeTrace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  SENT_REQUIRE_MSG(in.good(), "cannot open " << path);
+  return load_trace(in);
+}
+
+}  // namespace sent::trace

@@ -1,0 +1,36 @@
+// Trace (de)serialization.
+//
+// The real Sentomist splits into a front end (an Avrora monitor that
+// records the run) and a back end (offline analysis). This module gives
+// the same split: save_trace writes a versioned, line-oriented text format
+// a human can inspect; load_trace restores it exactly. The instruction
+// stream is delta-encoded on the cycle column, which keeps long traces
+// compact without sacrificing greppability.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/recorder.hpp"
+#include "util/assert.hpp"
+
+namespace sent::trace {
+
+/// Current format version, written in the header line.
+inline constexpr int kTraceFormatVersion = 1;
+
+void save_trace(const NodeTrace& trace, std::ostream& out);
+NodeTrace load_trace(std::istream& in);
+
+/// File-path convenience wrappers. Throw util::PreconditionError when the
+/// file cannot be opened and MalformedTraceFile on parse errors.
+void save_trace_file(const NodeTrace& trace, const std::string& path);
+NodeTrace load_trace_file(const std::string& path);
+
+/// Thrown by load_trace on any structural problem in the input.
+class MalformedTraceFile : public util::PreconditionError {
+ public:
+  using util::PreconditionError::PreconditionError;
+};
+
+}  // namespace sent::trace

@@ -1,0 +1,25 @@
+#include "util/assert.hpp"
+
+namespace sent::util::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void raise_assert(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  throw AssertionError(format("assertion", expr, file, line, msg));
+}
+
+void raise_require(const char* expr, const char* file, int line,
+                   const std::string& msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+}  // namespace sent::util::detail

@@ -1,0 +1,66 @@
+// Lightweight always-on assertion macros.
+//
+// SENT_ASSERT guards internal invariants; SENT_REQUIRE guards preconditions
+// on public API boundaries. Both throw (rather than abort) so tests can
+// verify violations, and both stay enabled in release builds: the simulator
+// is a correctness tool, so silent invariant corruption is never acceptable.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sent::util {
+
+/// Thrown when an internal invariant is violated.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] void raise_assert(const char* expr, const char* file, int line,
+                               const std::string& msg);
+[[noreturn]] void raise_require(const char* expr, const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace sent::util
+
+#define SENT_ASSERT(expr)                                                   \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::sent::util::detail::raise_assert(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define SENT_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream sent_os_;                                          \
+      sent_os_ << msg;                                                      \
+      ::sent::util::detail::raise_assert(#expr, __FILE__, __LINE__,         \
+                                         sent_os_.str());                   \
+    }                                                                       \
+  } while (0)
+
+#define SENT_REQUIRE(expr)                                                  \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::sent::util::detail::raise_require(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define SENT_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream sent_os_;                                          \
+      sent_os_ << msg;                                                      \
+      ::sent::util::detail::raise_require(#expr, __FILE__, __LINE__,        \
+                                          sent_os_.str());                  \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,93 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sent::util {
+
+void Cli::add_flag(const std::string& name, const std::string& help,
+                   const std::string& default_value) {
+  SENT_REQUIRE(!flags_.count(name));
+  flags_[name] = Flag{help, default_value, /*is_switch=*/false, false};
+}
+
+void Cli::add_switch(const std::string& name, const std::string& help) {
+  SENT_REQUIRE(!flags_.count(name));
+  flags_[name] = Flag{help, "false", /*is_switch=*/true, false};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    if (it->second.is_switch) {
+      it->second.value = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+          return false;
+        }
+        value = argv[++i];
+      }
+      it->second.value = value;
+    }
+    it->second.set = true;
+  }
+  return true;
+}
+
+std::string Cli::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.is_switch) os << " <value> (default: " << flag.value << ")";
+    os << "\n      " << flag.help << '\n';
+  }
+  return os.str();
+}
+
+std::string Cli::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  SENT_REQUIRE_MSG(it != flags_.end(), "undeclared flag " << name);
+  return it->second.value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool Cli::get_switch(const std::string& name) const {
+  return get(name) == "true";
+}
+
+}  // namespace sent::util

@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for example and bench binaries.
+//
+// Supports --name value and --name=value forms plus boolean switches.
+// Unknown flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sent::util {
+
+class Cli {
+ public:
+  /// Declare flags before parse(). `help` is printed by usage().
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value);
+  void add_switch(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on --help or error.
+  bool parse(int argc, const char* const* argv);
+
+  std::string usage(const std::string& program) const;
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_switch(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_switch = false;
+    bool set = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::string error_;
+};
+
+}  // namespace sent::util

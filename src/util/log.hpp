@@ -1,0 +1,37 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic, so logging is mainly a debugging aid for
+// tests and examples; it defaults to Warn and writes to stderr so bench
+// stdout stays machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sent::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide log threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at the given level (no-op below the threshold).
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace sent::util
+
+#define SENT_LOG(level, expr)                                        \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::sent::util::log_level())) {               \
+      std::ostringstream sent_log_os_;                               \
+      sent_log_os_ << expr;                                          \
+      ::sent::util::log_line(level, sent_log_os_.str());             \
+    }                                                                \
+  } while (0)
+
+#define SENT_DEBUG(expr) SENT_LOG(::sent::util::LogLevel::Debug, expr)
+#define SENT_INFO(expr) SENT_LOG(::sent::util::LogLevel::Info, expr)
+#define SENT_WARN(expr) SENT_LOG(::sent::util::LogLevel::Warn, expr)
+#define SENT_ERROR(expr) SENT_LOG(::sent::util::LogLevel::Error, expr)

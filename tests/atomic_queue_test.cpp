@@ -1,0 +1,136 @@
+// Atomic sections (cli/sei) and bounded task-queue semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/node.hpp"
+#include "util/assert.hpp"
+
+namespace sent::os {
+namespace {
+
+struct Harness {
+  sim::EventQueue q;
+  Node node{0, q};
+  void raise_at(sim::Cycle at, trace::IrqLine line) {
+    q.schedule_at(at, [this, line] { node.machine().raise_irq(line); });
+  }
+};
+
+TEST(Atomic, SectionDefersInterruptDelivery) {
+  Harness h;
+  auto& prog = h.node.program();
+  std::vector<std::string> log;
+  mcu::CodeId task_code =
+      mcu::CodeBuilder("critical", true)
+          .instr("enter",
+                 [&] {
+                   log.push_back("enter");
+                   h.node.machine().disable_interrupts();
+                 })
+          .instr("body1", [&] { log.push_back("body1"); }, 200)
+          .instr("body2", [&] { log.push_back("body2"); }, 200)
+          .instr("leave",
+                 [&] {
+                   log.push_back("leave");
+                   h.node.machine().enable_interrupts();
+                 })
+          .instr("after", [&] { log.push_back("after"); }, 200)
+          .build(prog);
+  trace::TaskId task = h.node.kernel().register_task(task_code);
+  mcu::CodeId poster = mcu::CodeBuilder("poster", false)
+                           .instr("post", [&] { h.node.kernel().post(task); })
+                           .build(prog);
+  mcu::CodeId intruder = mcu::CodeBuilder("intruder", false)
+                             .instr("hit", [&] { log.push_back("irq"); })
+                             .build(prog);
+  h.node.machine().register_handler(5, poster);
+  h.node.machine().register_handler(2, intruder);
+  h.raise_at(0, 5);
+  // Lands mid-critical-section: must be deferred until after "leave".
+  h.raise_at(100, 2);
+  h.q.run_all();
+  EXPECT_EQ(log, (std::vector<std::string>{"enter", "body1", "body2",
+                                           "leave", "irq", "after"}));
+}
+
+TEST(Atomic, NestedSectionsCompose) {
+  Harness h;
+  auto& prog = h.node.program();
+  std::vector<std::string> log;
+  mcu::CodeId handler5 =
+      mcu::CodeBuilder("outer", false)
+          .instr("a", [&] { h.node.machine().disable_interrupts(); }, 50)
+          .instr("b", [&] { h.node.machine().disable_interrupts(); }, 50)
+          .instr("c", [&] { h.node.machine().enable_interrupts(); }, 50)
+          // Still one level deep: interrupts stay off.
+          .instr("d", [&] { log.push_back("still-atomic"); }, 300)
+          .instr("e", [&] { h.node.machine().enable_interrupts(); }, 50)
+          .build(prog);
+  mcu::CodeId intruder = mcu::CodeBuilder("intruder", false)
+                             .instr("hit", [&] { log.push_back("irq"); })
+                             .build(prog);
+  h.node.machine().register_handler(5, handler5);
+  h.node.machine().register_handler(2, intruder);
+  h.raise_at(0, 5);
+  h.raise_at(120, 2);
+  h.q.run_all();
+  // The interrupt, although higher priority, waits for full re-enable.
+  EXPECT_EQ(log, (std::vector<std::string>{"still-atomic", "irq"}));
+  EXPECT_TRUE(h.node.machine().interrupts_enabled());
+}
+
+TEST(Atomic, UnbalancedEnableThrows) {
+  Harness h;
+  EXPECT_THROW(h.node.machine().enable_interrupts(),
+               util::PreconditionError);
+}
+
+TEST(BoundedQueue, OverflowDropsPostSilently) {
+  Harness h;
+  h.node.kernel().set_queue_capacity(2);
+  int runs = 0;
+  mcu::CodeId code = mcu::CodeBuilder("t", true)
+                         .instr("run", [&] { ++runs; })
+                         .build(h.node.program());
+  trace::TaskId task = h.node.kernel().register_task(code);
+  h.q.schedule_at(0, [&] {
+    EXPECT_TRUE(h.node.kernel().try_post(task));
+    EXPECT_TRUE(h.node.kernel().try_post(task));
+    EXPECT_FALSE(h.node.kernel().try_post(task));  // full
+    EXPECT_EQ(h.node.kernel().overflows(), 1u);
+  });
+  h.q.run_all();
+  EXPECT_EQ(runs, 2);
+  // The dropped post left no lifecycle item (Criterion 1 stays intact).
+  auto t = h.node.take_trace();
+  int posts = 0;
+  for (const auto& item : t.lifecycle)
+    posts += item.kind == trace::LifecycleKind::PostTask;
+  EXPECT_EQ(posts, 2);
+}
+
+TEST(BoundedQueue, CapacityFreesUpAfterRun) {
+  Harness h;
+  h.node.kernel().set_queue_capacity(1);
+  int runs = 0;
+  mcu::CodeId code = mcu::CodeBuilder("t", true)
+                         .instr("run", [&] { ++runs; })
+                         .build(h.node.program());
+  trace::TaskId task = h.node.kernel().register_task(code);
+  h.q.schedule_at(0, [&] { EXPECT_TRUE(h.node.kernel().try_post(task)); });
+  h.q.schedule_at(10000,
+                  [&] { EXPECT_TRUE(h.node.kernel().try_post(task)); });
+  h.q.run_all();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(h.node.kernel().overflows(), 0u);
+}
+
+TEST(BoundedQueue, Validation) {
+  Harness h;
+  EXPECT_THROW(h.node.kernel().set_queue_capacity(0),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace sent::os

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "ml/dustminer.hpp"
+#include "util/assert.hpp"
+
+namespace sent::ml {
+namespace {
+
+using Seq = std::vector<std::uint32_t>;
+
+std::vector<std::string> names3() { return {"alpha", "beta", "gamma"}; }
+
+TEST(Dustminer, FindsDiscriminativeUnigram) {
+  // "gamma" appears only in bad sequences.
+  std::vector<Seq> seqs{{0, 1}, {0, 1}, {0, 1}, {0, 2, 1}};
+  std::vector<bool> bad{false, false, false, true};
+  Dustminer miner;
+  auto patterns = miner.mine(seqs, bad, names3());
+  ASSERT_FALSE(patterns.empty());
+  bool found = false;
+  for (const auto& p : patterns) {
+    if (p.events == std::vector<std::string>{"gamma"}) {
+      found = true;
+      EXPECT_TRUE(p.more_frequent_in_bad);
+      EXPECT_DOUBLE_EQ(p.support_bad, 1.0);
+      EXPECT_DOUBLE_EQ(p.support_good, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Dustminer, FindsDiscriminativeBigram) {
+  // Order matters: bad sequences contain "beta -> alpha" instead of
+  // "alpha -> beta".
+  std::vector<Seq> seqs{{0, 1}, {0, 1}, {1, 0}, {1, 0}};
+  std::vector<bool> bad{false, false, true, true};
+  Dustminer miner;
+  auto patterns = miner.mine(seqs, bad, names3());
+  ASSERT_FALSE(patterns.empty());
+  // Top patterns are the two order-discriminating bigrams.
+  bool saw_bad_order = false;
+  for (std::size_t i = 0; i < 2 && i < patterns.size(); ++i) {
+    if (patterns[i].events ==
+        std::vector<std::string>{"beta", "alpha"}) {
+      saw_bad_order = true;
+      EXPECT_TRUE(patterns[i].more_frequent_in_bad);
+    }
+  }
+  EXPECT_TRUE(saw_bad_order);
+}
+
+TEST(Dustminer, IdenticalClassesYieldNothing) {
+  std::vector<Seq> seqs{{0, 1}, {0, 1}, {0, 1}, {0, 1}};
+  std::vector<bool> bad{false, false, true, true};
+  Dustminer miner;
+  auto patterns = miner.mine(seqs, bad, names3());
+  EXPECT_TRUE(patterns.empty());
+}
+
+TEST(Dustminer, RespectsMaxNAndTopPatterns) {
+  DustminerParams params;
+  params.max_n = 1;
+  params.top_patterns = 2;
+  Dustminer miner(params);
+  std::vector<Seq> seqs{{0, 1, 2}, {0}, {1, 2, 2}, {2, 2, 2}};
+  std::vector<bool> bad{false, false, true, true};
+  auto patterns = miner.mine(seqs, bad, names3());
+  EXPECT_LE(patterns.size(), 2u);
+  for (const auto& p : patterns) EXPECT_EQ(p.events.size(), 1u);
+}
+
+TEST(Dustminer, Validation) {
+  Dustminer miner;
+  std::vector<Seq> seqs{{0}, {1}};
+  EXPECT_THROW(miner.mine(seqs, {true}, names3()),
+               util::PreconditionError);
+  EXPECT_THROW(miner.mine(seqs, {true, true}, names3()),
+               util::PreconditionError);
+  EXPECT_THROW(miner.mine(seqs, {false, false}, names3()),
+               util::PreconditionError);
+  DustminerParams bad_params;
+  bad_params.max_n = 0;
+  EXPECT_THROW(Dustminer{bad_params}, util::PreconditionError);
+}
+
+TEST(Dustminer, PatternToString) {
+  MinedPattern p;
+  p.events = {"a", "b", "c"};
+  EXPECT_EQ(p.to_string(), "a -> b -> c");
+}
+
+TEST(CodeObjectSequences, CollapsesConsecutiveRepeats) {
+  trace::NodeTrace t;
+  t.instr_table = {{"f", "i0", 8}, {"f", "i1", 8}, {"g", "j0", 8}};
+  t.instrs = {{10, 0}, {12, 1}, {14, 2}, {16, 0}, {18, 1}};
+  t.run_end = 100;
+  core::EventInterval w;
+  w.start_cycle = 0;
+  w.end_cycle = 100;
+  std::vector<core::EventInterval> intervals{w};
+  std::vector<std::string> names;
+  auto seqs = code_object_sequences(t, intervals, &names);
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(names, (std::vector<std::string>{"f", "g"}));
+  // f f g f f collapses to f g f.
+  EXPECT_EQ(seqs[0], (Seq{0, 1, 0}));
+}
+
+TEST(CodeObjectSequences, RespectsWindows) {
+  trace::NodeTrace t;
+  t.instr_table = {{"f", "i0", 8}, {"g", "j0", 8}};
+  t.instrs = {{10, 0}, {50, 1}, {90, 0}};
+  t.run_end = 100;
+  core::EventInterval a, b;
+  a.start_cycle = 0;
+  a.end_cycle = 40;
+  b.start_cycle = 45;
+  b.end_cycle = 95;
+  std::vector<core::EventInterval> intervals{a, b};
+  auto seqs = code_object_sequences(t, intervals);
+  EXPECT_EQ(seqs[0], (Seq{0}));
+  EXPECT_EQ(seqs[1], (Seq{1, 0}));
+}
+
+}  // namespace
+}  // namespace sent::ml

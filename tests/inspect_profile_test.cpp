@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.hpp"
+#include "pipeline/inspect.hpp"
+#include "trace/profile.hpp"
+#include "util/assert.hpp"
+
+namespace sent {
+namespace {
+
+// ---------------------------------------------------------------- profile
+
+trace::NodeTrace profiled_trace() {
+  trace::NodeTrace t;
+  t.instr_table = {{"handler", "a", 10}, {"handler", "b", 20},
+                   {"task", "c", 100}};
+  t.instrs = {{5, 0}, {15, 1}, {35, 2}, {135, 2}, {300, 0}};
+  t.run_end = 1000;
+  return t;
+}
+
+TEST(Profile, AggregatesPerCodeObject) {
+  trace::Profile p = trace::profile_code_objects(profiled_trace());
+  ASSERT_EQ(p.entries.size(), 2u);
+  // task: 2 x 100 = 200 cycles; handler: 2x10 + 1x20 = 40 cycles.
+  EXPECT_EQ(p.entries[0].name, "task");
+  EXPECT_EQ(p.entries[0].executions, 2u);
+  EXPECT_EQ(p.entries[0].cycles, 200u);
+  EXPECT_EQ(p.entries[1].name, "handler");
+  EXPECT_EQ(p.entries[1].cycles, 40u);
+  EXPECT_EQ(p.total_cycles, 240u);
+  EXPECT_NEAR(p.entries[0].cycle_share, 200.0 / 240.0, 1e-12);
+}
+
+TEST(Profile, InstructionGranularity) {
+  trace::Profile p = trace::profile_instructions(profiled_trace());
+  ASSERT_EQ(p.entries.size(), 3u);
+  EXPECT_EQ(p.entries[0].name, "task/c");
+  // handler/a (2x10) and handler/b (1x20) tie at 20 cycles; the stable
+  // sort preserves the alphabetical map order.
+  EXPECT_EQ(p.entries[1].name, "handler/a");
+  EXPECT_EQ(p.entries[1].cycles, 20u);
+  EXPECT_EQ(p.entries[2].name, "handler/b");
+  EXPECT_EQ(p.entries[2].cycles, 20u);
+}
+
+TEST(Profile, WindowRestriction) {
+  trace::Profile p =
+      trace::profile_code_objects(profiled_trace(), /*begin=*/10,
+                                  /*end=*/140);
+  // Only instrs at cycles 15, 35, 135 fall inside.
+  EXPECT_EQ(p.total_executions, 3u);
+  EXPECT_EQ(p.total_cycles, 220u);
+}
+
+TEST(Profile, EmptyWindow) {
+  trace::Profile p =
+      trace::profile_code_objects(profiled_trace(), 400, 500);
+  EXPECT_TRUE(p.entries.empty());
+  EXPECT_EQ(p.total_cycles, 0u);
+  EXPECT_NE(p.render().find("total: 0 executions"), std::string::npos);
+}
+
+TEST(Profile, RenderShowsRowsAndTotals) {
+  std::string out = trace::profile_code_objects(profiled_trace()).render();
+  EXPECT_NE(out.find("task"), std::string::npos);
+  EXPECT_NE(out.find("83.3%"), std::string::npos);
+  EXPECT_NE(out.find("total: 5 executions, 240 cycles"),
+            std::string::npos);
+}
+
+TEST(Profile, Validation) {
+  trace::NodeTrace empty;
+  EXPECT_THROW(trace::profile_code_objects(empty),
+               util::PreconditionError);
+  EXPECT_THROW(trace::profile_code_objects(profiled_trace(), 10, 5),
+               util::PreconditionError);
+}
+
+TEST(Profile, RealScenarioProfileIsSane) {
+  apps::Case1Config config;
+  config.seed = 5;
+  config.sample_periods_ms = {20};
+  config.run_seconds = 5.0;
+  auto r = apps::run_case1(config);
+  trace::Profile p = trace::profile_code_objects(r.runs[0].sensor_trace);
+  ASSERT_FALSE(p.entries.empty());
+  double share = 0.0;
+  for (const auto& e : p.entries) share += e.cycle_share;
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  // The heavy task dominates cycles when present.
+  EXPECT_EQ(p.entries[0].name, "heavyTask");
+}
+
+// ---------------------------------------------------------------- inspect
+
+TEST(Inspect, RendersTimelineAndDeviations) {
+  apps::Case2Config config;
+  config.seed = 3;
+  auto r = apps::run_case2(config);
+  pipeline::AnalysisOptions options;
+  options.keep_features = true;
+  pipeline::AnalysisReport report =
+      pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi, options);
+  std::string out =
+      pipeline::render_interval_detail(r.relay_trace, report, 0);
+  EXPECT_NE(out.find("rank 1:"), std::string::npos);
+  EXPECT_NE(out.find("lifecycle timeline"), std::string::npos);
+  EXPECT_NE(out.find("int(2)"), std::string::npos);
+  EXPECT_NE(out.find("most deviant instruction counts"),
+            std::string::npos);
+  // The top interval is a ground-truth busy-drop; rendering says so.
+  EXPECT_NE(out.find("busy-drop"), std::string::npos);
+  // The drop-path instruction is among the deviants.
+  EXPECT_NE(out.find("Receive.receive/drop_busy"), std::string::npos);
+}
+
+TEST(Inspect, SkipsDeviationsWithoutFeatures) {
+  apps::Case2Config config;
+  config.seed = 3;
+  config.run_seconds = 5.0;
+  auto r = apps::run_case2(config);
+  pipeline::AnalysisReport report =
+      pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
+  std::string out =
+      pipeline::render_interval_detail(r.relay_trace, report, 0);
+  EXPECT_EQ(out.find("most deviant"), std::string::npos);
+  EXPECT_NE(out.find("lifecycle timeline"), std::string::npos);
+}
+
+TEST(Inspect, RankOutOfRangeThrows) {
+  apps::Case2Config config;
+  config.seed = 3;
+  config.run_seconds = 5.0;
+  auto r = apps::run_case2(config);
+  pipeline::AnalysisReport report =
+      pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
+  EXPECT_THROW(pipeline::render_interval_detail(r.relay_trace, report,
+                                                report.ranking.size()),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace sent

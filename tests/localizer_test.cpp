@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.hpp"
+#include "core/localizer.hpp"
+#include "pipeline/sentomist.hpp"
+#include "util/assert.hpp"
+
+namespace sent::core {
+namespace {
+
+FeatureMatrix tiny_matrix() {
+  FeatureMatrix m;
+  m.names = {"f/alpha", "f/beta", "g/gamma"};
+  // Rows 0-3 normal; row 4 differs strongly on column 1 (f/beta).
+  m.rows = {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 4}, {1, 9, 3}};
+  return m;
+}
+
+TEST(Localizer, LowestKFlagsCorrectRows) {
+  std::vector<double> scores{0.5, -1.0, 0.2, -2.0, 0.9};
+  auto flags = lowest_k(scores, 2);
+  EXPECT_EQ(flags, (std::vector<bool>{false, true, false, true, false}));
+  EXPECT_THROW(lowest_k(scores, 0), util::PreconditionError);
+  EXPECT_THROW(lowest_k(scores, 5), util::PreconditionError);
+}
+
+TEST(Localizer, RanksDiscriminativeInstructionFirst) {
+  FeatureMatrix m = tiny_matrix();
+  std::vector<bool> suspicious{false, false, false, false, true};
+  Localization loc = localize(m, suspicious);
+  ASSERT_EQ(loc.instructions.size(), 3u);
+  EXPECT_EQ(loc.instructions[0].name, "f/beta");
+  EXPECT_GT(loc.instructions[0].score, loc.instructions[1].score);
+  EXPECT_EQ(loc.instructions[0].suspicious_mean, 9.0);
+  EXPECT_EQ(loc.instructions[0].normal_mean, 2.0);
+}
+
+TEST(Localizer, AggregatesToCodeObjectsByMax) {
+  FeatureMatrix m = tiny_matrix();
+  std::vector<bool> suspicious{false, false, false, false, true};
+  Localization loc = localize(m, suspicious);
+  ASSERT_EQ(loc.code_objects.size(), 2u);
+  EXPECT_EQ(loc.code_objects[0].code_object, "f");
+  EXPECT_GT(loc.code_objects[0].score, loc.code_objects[1].score);
+}
+
+TEST(Localizer, ConstantColumnsScoreZero) {
+  FeatureMatrix m = tiny_matrix();
+  std::vector<bool> suspicious{false, false, false, false, true};
+  Localization loc = localize(m, suspicious);
+  // Column 0 (f/alpha) is constant everywhere -> zero suspicion.
+  for (const auto& instr : loc.instructions) {
+    if (instr.name == "f/alpha") {
+      EXPECT_EQ(instr.score, 0.0);
+    }
+  }
+}
+
+TEST(Localizer, Validation) {
+  FeatureMatrix m = tiny_matrix();
+  EXPECT_THROW(localize(m, {true, true}), util::PreconditionError);
+  EXPECT_THROW(localize(m, {true, true, true, true, true}),
+               util::PreconditionError);
+  EXPECT_THROW(localize(m, {false, false, false, false, false}),
+               util::PreconditionError);
+}
+
+// End-to-end: for case II, the drop path in Receive.receive must be the
+// top localized instruction.
+TEST(Localizer, Case2DropPathLocalized) {
+  apps::Case2Config config;
+  config.seed = 3;
+  apps::Case2Result r = apps::run_case2(config);
+  pipeline::AnalysisOptions options;
+  options.keep_features = true;
+  pipeline::AnalysisReport report =
+      pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi, options);
+  ASSERT_GE(report.buggy_count(), 1u);
+  Localization loc =
+      pipeline::localize_top_k(report, report.buggy_count());
+  ASSERT_FALSE(loc.code_objects.empty());
+  EXPECT_EQ(loc.code_objects[0].code_object, "Receive.receive");
+  // The drop-path instruction is among the top-scoring ones.
+  bool drop_in_top4 = false;
+  for (std::size_t i = 0; i < 4 && i < loc.instructions.size(); ++i)
+    drop_in_top4 |= loc.instructions[i].name == "Receive.receive/drop_busy";
+  EXPECT_TRUE(drop_in_top4);
+}
+
+TEST(Localizer, RequiresKeptFeatures) {
+  apps::Case2Config config;
+  config.seed = 3;
+  config.run_seconds = 5.0;
+  apps::Case2Result r = apps::run_case2(config);
+  pipeline::AnalysisReport report =
+      pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
+  EXPECT_THROW(pipeline::localize_top_k(report, 3),
+               util::PreconditionError);
+}
+
+TEST(Localizer, FormatListsObjectsAndInstructions) {
+  FeatureMatrix m = tiny_matrix();
+  Localization loc =
+      localize(m, {false, false, false, false, true});
+  std::string text = pipeline::format_localization(loc);
+  EXPECT_NE(text.find("suspect code object"), std::string::npos);
+  EXPECT_NE(text.find("f/beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sent::core

@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "core/detector.hpp"
+#include "ml/detectors.hpp"
+#include "ml/eigen.hpp"
+#include "ml/kernel.hpp"
+#include "ml/kfd.hpp"
+#include "ml/ocsvm.hpp"
+#include "ml/scaler.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sent::ml {
+namespace {
+
+using Rows = std::vector<std::vector<double>>;
+
+// Gaussian blob with a few planted far-away outliers at the end. Each
+// outlier sits in its own direction: a *tight pack* of far points would
+// legitimately be treated as a second mode by a one-class SVM (it
+// estimates the support of the distribution, which can be multi-modal),
+// so isolated singletons are the honest "anomaly" shape.
+Rows blob_with_outliers(std::size_t n_normal, std::size_t n_outliers,
+                        std::uint64_t seed, double spread = 8.0) {
+  util::Rng rng(seed);
+  Rows rows;
+  for (std::size_t i = 0; i < n_normal; ++i)
+    rows.push_back({rng.normal(0, 1), rng.normal(0, 1)});
+  for (std::size_t i = 0; i < n_outliers; ++i) {
+    double angle = 2.0 * 3.14159265358979 *
+                   (static_cast<double>(i) + rng.uniform()) /
+                   static_cast<double>(std::max<std::size_t>(n_outliers, 1));
+    double radius = spread + 2.0 * static_cast<double>(i);
+    rows.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  return rows;
+}
+
+// True if every planted outlier (the last n_outliers rows) lands in the
+// bottom `depth` positions of the ascending ranking.
+bool outliers_rank_first(const std::vector<double>& scores,
+                         std::size_t n_outliers, std::size_t depth) {
+  auto ranked = core::rank_ascending(scores);
+  std::size_t n = scores.size();
+  std::size_t found = 0;
+  for (std::size_t pos = 0; pos < depth && pos < n; ++pos)
+    if (ranked[pos].index >= n - n_outliers) ++found;
+  return found == n_outliers;
+}
+
+// ---------------------------------------------------------------- scaler
+
+TEST(Scaler, StandardizesColumns) {
+  Rows rows{{1, 10}, {3, 10}, {5, 10}};
+  StandardScaler s;
+  s.fit(rows);
+  EXPECT_NEAR(s.mean()[0], 3.0, 1e-12);
+  EXPECT_EQ(s.scale()[1], 1.0);  // zero variance guarded
+  auto z = s.transform(rows);
+  EXPECT_NEAR(z[0][0], -std::sqrt(1.5), 1e-9);
+  EXPECT_NEAR(z[1][0], 0.0, 1e-12);
+  EXPECT_NEAR(z[0][1], 0.0, 1e-12);
+}
+
+TEST(Scaler, Validation) {
+  StandardScaler s;
+  EXPECT_THROW(s.fit({}), util::PreconditionError);
+  EXPECT_THROW(s.fit({{1.0}, {1.0, 2.0}}), util::PreconditionError);
+  s.fit({{1.0, 2.0}});
+  EXPECT_THROW(s.transform(std::vector<double>{1.0}),
+               util::PreconditionError);
+}
+
+// ---------------------------------------------------------------- kernel
+
+TEST(Kernel, RbfProperties) {
+  KernelSpec spec;  // rbf
+  std::vector<double> a{1, 2}, b{3, -1};
+  double gamma = resolve_gamma(spec, 2);
+  EXPECT_DOUBLE_EQ(gamma, 0.5);
+  EXPECT_DOUBLE_EQ(kernel_eval(spec, gamma, a, a), 1.0);
+  double kab = kernel_eval(spec, gamma, a, b);
+  EXPECT_DOUBLE_EQ(kab, kernel_eval(spec, gamma, b, a));
+  EXPECT_GT(kab, 0.0);
+  EXPECT_LT(kab, 1.0);
+}
+
+TEST(Kernel, LinearAndPoly) {
+  KernelSpec lin;
+  lin.type = KernelType::Linear;
+  std::vector<double> a{1, 2}, b{3, -1};
+  EXPECT_DOUBLE_EQ(kernel_eval(lin, 0.0, a, b), 1.0);
+
+  KernelSpec poly;
+  poly.type = KernelType::Poly;
+  poly.degree = 2;
+  poly.coef0 = 1.0;
+  poly.gamma = 1.0;
+  EXPECT_DOUBLE_EQ(kernel_eval(poly, 1.0, a, b), 4.0);  // (1*1+1)^2
+}
+
+TEST(Kernel, ExplicitGammaWins) {
+  KernelSpec spec;
+  spec.gamma = 0.125;
+  EXPECT_DOUBLE_EQ(resolve_gamma(spec, 100), 0.125);
+}
+
+// ----------------------------------------------------------------- eigen
+
+TEST(Eigen, DiagonalizesKnown2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  auto eig = symmetric_eigen({2, 1, 1, 2}, 2);
+  ASSERT_EQ(eig.values.size(), 2u);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-9);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors[0][0]), 1.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(eig.vectors[0][0], eig.vectors[0][1], 1e-9);
+}
+
+TEST(Eigen, IdentityIsFixedPoint) {
+  auto eig = symmetric_eigen({1, 0, 0, 0, 1, 0, 0, 0, 1}, 3);
+  for (double v : eig.values) EXPECT_NEAR(v, 1.0, 1e-12);
+}
+
+TEST(Eigen, ReconstructsMatrix) {
+  // A = V diag(values) V^T for a random symmetric matrix.
+  util::Rng rng(3);
+  std::size_t n = 5;
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      double v = rng.normal();
+      a[i * n + j] = v;
+      a[j * n + i] = v;
+    }
+  auto eig = symmetric_eigen(a, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k)
+        sum += eig.values[k] * eig.vectors[k][i] * eig.vectors[k][j];
+      EXPECT_NEAR(sum, a[i * n + j], 1e-8);
+    }
+  }
+}
+
+TEST(Eigen, CovarianceOfKnownData) {
+  Rows rows{{0, 0}, {2, 2}, {0, 2}, {2, 0}};
+  auto cov = covariance_matrix(rows);
+  EXPECT_NEAR(cov[0], 1.0, 1e-12);  // var x
+  EXPECT_NEAR(cov[3], 1.0, 1e-12);  // var y
+  EXPECT_NEAR(cov[1], 0.0, 1e-12);  // uncorrelated
+}
+
+// ----------------------------------------------------------------- ocsvm
+
+TEST(Ocsvm, PlantedOutliersGetLowestScores) {
+  Rows rows = blob_with_outliers(200, 3, 7);
+  OneClassSvm svm;
+  auto scores = svm.score(rows);
+  ASSERT_EQ(scores.size(), rows.size());
+  EXPECT_TRUE(outliers_rank_first(scores, 3, 3));
+  EXPECT_TRUE(svm.converged());
+}
+
+TEST(Ocsvm, OutlierScoresAreNegative) {
+  Rows rows = blob_with_outliers(200, 3, 11);
+  OneClassSvm svm;
+  auto scores = svm.score(rows);
+  for (std::size_t i = rows.size() - 3; i < rows.size(); ++i)
+    EXPECT_LT(scores[i], 0.0);
+  // The bulk of the blob sits on the normal side.
+  std::size_t positive = 0;
+  for (std::size_t i = 0; i < rows.size() - 3; ++i)
+    positive += scores[i] > 0.0;
+  EXPECT_GT(positive, (rows.size() - 3) * 8 / 10);
+}
+
+TEST(Ocsvm, NuBoundsOutlierFraction) {
+  // nu upper-bounds the fraction of training points with f(x) < 0.
+  for (double nu : {0.02, 0.05, 0.1, 0.2}) {
+    Rows rows = blob_with_outliers(300, 0, 13);
+    OcsvmParams params;
+    params.nu = nu;
+    OneClassSvm svm(params);
+    auto scores = svm.score(rows);
+    std::size_t negative = 0;
+    for (double s : scores) negative += s < -1e-9;
+    EXPECT_LE(double(negative) / double(rows.size()), nu + 0.03)
+        << "nu=" << nu;
+  }
+}
+
+TEST(Ocsvm, NuLowerBoundsSupportVectors) {
+  Rows rows = blob_with_outliers(300, 0, 17);
+  OcsvmParams params;
+  params.nu = 0.1;
+  OneClassSvm svm(params);
+  svm.fit(rows);
+  EXPECT_GE(svm.support_vector_count(),
+            static_cast<std::size_t>(0.1 * 300) - 1);
+}
+
+TEST(Ocsvm, InductiveDecisionSeparatesNewPoints) {
+  Rows rows = blob_with_outliers(300, 0, 19);
+  OneClassSvm svm;
+  svm.fit(rows);
+  EXPECT_GT(svm.decision({0.0, 0.0}), 0.0);
+  EXPECT_LT(svm.decision({50.0, 50.0}), 0.0);
+}
+
+TEST(Ocsvm, DeterministicScores) {
+  Rows rows = blob_with_outliers(100, 2, 23);
+  OneClassSvm a, b;
+  auto sa = a.score(rows);
+  auto sb = b.score(rows);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(Ocsvm, IdenticalRowsScoreEqually) {
+  Rows rows(50, std::vector<double>{1.0, 2.0, 3.0});
+  OneClassSvm svm;
+  auto scores = svm.score(rows);
+  for (double s : scores) EXPECT_NEAR(s, scores[0], 1e-9);
+}
+
+TEST(Ocsvm, ParamValidation) {
+  OcsvmParams bad;
+  bad.nu = 0.0;
+  EXPECT_THROW(OneClassSvm{bad}, util::PreconditionError);
+  bad.nu = 1.5;
+  EXPECT_THROW(OneClassSvm{bad}, util::PreconditionError);
+  OneClassSvm svm;
+  EXPECT_THROW(svm.decision({1.0}), util::PreconditionError);
+  EXPECT_THROW(svm.score({}), util::PreconditionError);
+}
+
+TEST(Ocsvm, LinearKernelAlsoWorks) {
+  Rows rows = blob_with_outliers(150, 3, 29);
+  OcsvmParams params;
+  params.kernel.type = KernelType::Linear;
+  OneClassSvm svm(params);
+  auto scores = svm.score(rows);
+  // Linear one-class SVM separates from the origin; with planted far
+  // outliers the blob still dominates the ranking's top. We only require
+  // sane output here.
+  ASSERT_EQ(scores.size(), rows.size());
+}
+
+// ----------------------------------------------- alternative detectors
+
+TEST(Pca, OffSubspaceOutlierDetected) {
+  // Points near the line y = x; outlier far off the line but with an
+  // in-range norm — invisible to per-coordinate checks.
+  util::Rng rng(31);
+  Rows rows;
+  for (int i = 0; i < 200; ++i) {
+    double t = rng.normal(0, 3);
+    rows.push_back({t, t + rng.normal(0, 0.1)});
+  }
+  rows.push_back({2.0, -2.0});
+  PcaDetector pca(0.9);
+  auto scores = pca.score(rows);
+  EXPECT_TRUE(outliers_rank_first(scores, 1, 1));
+  EXPECT_GE(pca.components_used(), 1u);
+}
+
+TEST(Pca, DegenerateDataAllZero) {
+  Rows rows(10, std::vector<double>{5.0, 5.0});
+  PcaDetector pca;
+  auto scores = pca.score(rows);
+  for (double s : scores) EXPECT_EQ(s, 0.0);
+}
+
+TEST(Knn, SingletonAndSmallInputs) {
+  KnnDetector knn(5);
+  auto one = knn.score({{1.0, 2.0}});
+  EXPECT_EQ(one, (std::vector<double>{0.0}));
+}
+
+TEST(Lof, UniformClusterScoresNearMinusOne) {
+  util::Rng rng(37);
+  Rows rows;
+  for (int i = 0; i < 100; ++i)
+    rows.push_back({rng.uniform(0, 1), rng.uniform(0, 1)});
+  LofDetector lof(10);
+  auto scores = lof.score(rows);
+  double m = 0;
+  for (double s : scores) m += s;
+  m /= double(scores.size());
+  EXPECT_NEAR(m, -1.0, 0.15);
+}
+
+TEST(Mahalanobis, CorrelationBreakingOutlier) {
+  // Strongly correlated 2D data; the outlier has typical marginals but
+  // breaks the correlation.
+  util::Rng rng(41);
+  Rows rows;
+  for (int i = 0; i < 300; ++i) {
+    double t = rng.normal(0, 2);
+    rows.push_back({t, t + rng.normal(0, 0.2)});
+  }
+  rows.push_back({2.5, -2.5});
+  MahalanobisDetector det;
+  auto scores = det.score(rows);
+  EXPECT_TRUE(outliers_rank_first(scores, 1, 2));
+}
+
+// Parameterized sweep: every detector must put 3 planted far outliers in
+// the top 5 of the ranking on the standard blob task.
+using DetectorFactory = std::function<std::shared_ptr<core::OutlierDetector>()>;
+
+struct NamedFactory {
+  std::string name;
+  DetectorFactory make;
+};
+
+class DetectorSweep : public ::testing::TestWithParam<NamedFactory> {};
+
+TEST_P(DetectorSweep, PlantedOutliersInTopFive) {
+  for (std::uint64_t seed : {101ULL, 202ULL, 303ULL}) {
+    Rows rows = blob_with_outliers(200, 3, seed);
+    auto det = GetParam().make();
+    auto scores = det->score(rows);
+    EXPECT_TRUE(outliers_rank_first(scores, 3, 5))
+        << GetParam().name << " seed " << seed;
+    EXPECT_FALSE(det->name().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDetectors, DetectorSweep,
+    ::testing::Values(
+        NamedFactory{"ocsvm",
+                     [] { return std::make_shared<OneClassSvm>(); }},
+        NamedFactory{"pca",
+                     [] { return std::make_shared<PcaDetector>(); }},
+        NamedFactory{"knn",
+                     [] { return std::make_shared<KnnDetector>(); }},
+        NamedFactory{"lof",
+                     [] { return std::make_shared<LofDetector>(); }},
+        NamedFactory{"mahalanobis",
+                     [] { return std::make_shared<MahalanobisDetector>(); }},
+        NamedFactory{"kfd",
+                     [] { return std::make_shared<KernelFisherDetector>(); }}),
+    [](const ::testing::TestParamInfo<NamedFactory>& info) {
+      return info.param.name;
+    });
+
+TEST(Kfd, DegenerateIdenticalRowsScoreZero) {
+  Rows rows(30, std::vector<double>{2.0, 4.0});
+  KernelFisherDetector det;
+  auto scores = det.score(rows);
+  for (double s : scores) EXPECT_NEAR(s, 0.0, 1e-6);
+}
+
+TEST(Kfd, SingletonInput) {
+  KernelFisherDetector det;
+  auto scores = det.score({{1.0, 2.0}});
+  EXPECT_EQ(scores, (std::vector<double>{0.0}));
+}
+
+TEST(Kfd, ExtractsRequestedComponents) {
+  Rows rows = blob_with_outliers(100, 0, 77);
+  KfdParams params;
+  params.components = 4;
+  KernelFisherDetector det(params);
+  det.score(rows);
+  EXPECT_EQ(det.eigenvalues().size(), 4u);
+  // Eigenvalues come out in descending order (power iteration + deflation).
+  for (std::size_t i = 1; i < det.eigenvalues().size(); ++i)
+    EXPECT_GE(det.eigenvalues()[i - 1] + 1e-9, det.eigenvalues()[i]);
+}
+
+TEST(Kfd, ParamValidation) {
+  KfdParams bad;
+  bad.components = 0;
+  EXPECT_THROW(KernelFisherDetector{bad}, util::PreconditionError);
+}
+
+// ----------------------------------------------------- ranking helpers
+
+TEST(Ranking, AscendingStableOrder) {
+  auto ranked = core::rank_ascending({0.5, -1.0, 0.5, -2.0});
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].index, 3u);
+  EXPECT_EQ(ranked[1].index, 1u);
+  EXPECT_EQ(ranked[2].index, 0u);  // tie: original order preserved
+  EXPECT_EQ(ranked[3].index, 2u);
+}
+
+TEST(Ranking, NormalizeMakesMaxPositiveOne) {
+  std::vector<double> scores{-0.4, 0.2, 2.0};
+  core::normalize_scores(scores);
+  EXPECT_DOUBLE_EQ(scores[2], 1.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.1);
+  EXPECT_DOUBLE_EQ(scores[0], -0.2);
+}
+
+TEST(Ranking, NormalizeNoopWithoutPositives) {
+  std::vector<double> scores{-3.0, -1.0};
+  core::normalize_scores(scores);
+  EXPECT_DOUBLE_EQ(scores[0], -3.0);
+}
+
+}  // namespace
+}  // namespace sent::ml

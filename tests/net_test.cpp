@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "util/assert.hpp"
+
+namespace sent::net {
+namespace {
+
+struct Capture final : RadioListener {
+  std::vector<Packet> frames;
+  void on_frame(const Packet& p) override { frames.push_back(p); }
+};
+
+Packet data_packet(NodeId dst, std::uint16_t seq = 0) {
+  Packet p;
+  p.type = FrameType::Data;
+  p.dst = dst;
+  p.seq = seq;
+  p.payload = {1, 2, 3};
+  return p;
+}
+
+TEST(Packet, SizeAccountsForTypeAndPayload) {
+  Packet d = data_packet(3);
+  EXPECT_EQ(d.size_bytes(), 12u + 3u);
+  Packet rts;
+  rts.type = FrameType::Rts;
+  rts.payload = {9, 9, 9, 9};  // control frames ignore payload
+  EXPECT_EQ(rts.size_bytes(), 6u);
+}
+
+TEST(Packet, ToStringMentionsFields) {
+  Packet p = data_packet(kBroadcast, 5);
+  p.am_type = 10;
+  std::string s = p.to_string();
+  EXPECT_NE(s.find("Data[10]"), std::string::npos);
+  EXPECT_NE(s.find("->*"), std::string::npos);
+  EXPECT_NE(s.find("seq=5"), std::string::npos);
+}
+
+TEST(Packet, U16RoundTrip) {
+  std::vector<std::uint8_t> buf;
+  put_u16(buf, 0xBEEF);
+  put_u16(buf, 7);
+  EXPECT_EQ(get_u16(buf, 0), 0xBEEF);
+  EXPECT_EQ(get_u16(buf, 2), 7);
+  EXPECT_THROW(get_u16(buf, 3), util::PreconditionError);
+}
+
+struct ChannelHarness {
+  sim::EventQueue q;
+  Channel ch{q, util::Rng(42)};
+  Capture a, b, c;
+  ChannelHarness() {
+    ch.add_node(0, &a);
+    ch.add_node(1, &b);
+    ch.add_node(2, &c);
+  }
+};
+
+TEST(Channel, DeliversToEveryoneButSender) {
+  ChannelHarness h;
+  h.ch.transmit(0, data_packet(kBroadcast), 100);
+  h.q.run_all();
+  EXPECT_TRUE(h.a.frames.empty());
+  ASSERT_EQ(h.b.frames.size(), 1u);
+  ASSERT_EQ(h.c.frames.size(), 1u);
+  EXPECT_EQ(h.b.frames[0].src, 0);  // channel stamps the sender
+}
+
+TEST(Channel, DeliveryHappensAtAirtimeEnd) {
+  ChannelHarness h;
+  h.q.advance_to(50);
+  h.ch.transmit(0, data_packet(1), 200);
+  h.q.run_until(249);
+  EXPECT_TRUE(h.b.frames.empty());
+  h.q.run_all();
+  EXPECT_EQ(h.b.frames.size(), 1u);
+  EXPECT_EQ(h.q.now(), 250u);
+}
+
+TEST(Channel, RestrictedLinksLimitAudibility) {
+  ChannelHarness h;
+  h.ch.add_link(0, 1);  // switches to explicit connectivity: 0-1 only
+  h.ch.transmit(0, data_packet(kBroadcast), 100);
+  h.q.run_all();
+  EXPECT_EQ(h.b.frames.size(), 1u);
+  EXPECT_TRUE(h.c.frames.empty());
+}
+
+TEST(Channel, CarrierBusyDuringTransmission) {
+  ChannelHarness h;
+  EXPECT_FALSE(h.ch.carrier_busy(1));
+  h.ch.transmit(0, data_packet(kBroadcast), 100);
+  EXPECT_TRUE(h.ch.carrier_busy(1));
+  EXPECT_TRUE(h.ch.carrier_busy(0));  // own transmission
+  h.q.run_all();
+  EXPECT_FALSE(h.ch.carrier_busy(1));
+}
+
+TEST(Channel, CarrierRespectsTopology) {
+  ChannelHarness h;
+  h.ch.add_link(0, 1);
+  h.ch.transmit(0, data_packet(1), 100);
+  EXPECT_TRUE(h.ch.carrier_busy(1));
+  EXPECT_FALSE(h.ch.carrier_busy(2));  // out of range
+}
+
+TEST(Channel, OverlappingTransmissionsCollideAtCommonReceivers) {
+  ChannelHarness h;
+  h.ch.transmit(0, data_packet(kBroadcast), 100);
+  h.q.run_until(50);
+  h.q.advance_to(50);
+  h.ch.transmit(1, data_packet(kBroadcast), 100);
+  h.q.run_all();
+  // Node 2 hears both -> both corrupted there. Node 0 and 1 were each
+  // transmitting during the other's frame -> nothing received anywhere.
+  EXPECT_TRUE(h.c.frames.empty());
+  EXPECT_TRUE(h.a.frames.empty());
+  EXPECT_TRUE(h.b.frames.empty());
+  EXPECT_EQ(h.ch.frames_collided(), 4u);
+  EXPECT_EQ(h.ch.frames_delivered(), 0u);
+}
+
+TEST(Channel, NonOverlappingTransmissionsAllDeliver) {
+  ChannelHarness h;
+  h.ch.transmit(0, data_packet(kBroadcast), 100);
+  h.q.run_all();
+  h.ch.transmit(1, data_packet(kBroadcast), 100);
+  h.q.run_all();
+  EXPECT_EQ(h.b.frames.size(), 1u);
+  EXPECT_EQ(h.a.frames.size(), 1u);
+  EXPECT_EQ(h.c.frames.size(), 2u);
+  EXPECT_EQ(h.ch.frames_collided(), 0u);
+}
+
+TEST(Channel, HiddenTerminalCollidesOnlyAtCommonNeighbour) {
+  // 0-1-2 chain: 0 and 2 cannot hear each other (hidden terminals), so
+  // both transmit; only node 1 sees the collision.
+  ChannelHarness h;
+  make_chain(h.ch, {0, 1, 2});
+  h.ch.transmit(0, data_packet(kBroadcast), 100);
+  h.ch.transmit(2, data_packet(kBroadcast), 100);
+  h.q.run_all();
+  EXPECT_TRUE(h.b.frames.empty());        // corrupted at node 1
+  EXPECT_EQ(h.ch.frames_collided(), 2u);  // both copies at node 1
+}
+
+TEST(Channel, LossRateDropsApproximately) {
+  sim::EventQueue q;
+  Channel ch(q, util::Rng(7));
+  Capture rx;
+  Capture tx_side;
+  ch.add_node(0, &tx_side);
+  ch.add_node(1, &rx);
+  ch.set_loss_rate(0.3);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ch.transmit(0, data_packet(1, static_cast<std::uint16_t>(i)), 10);
+    q.run_all();
+  }
+  double rate = 1.0 - double(rx.frames.size()) / n;
+  EXPECT_NEAR(rate, 0.3, 0.05);
+  EXPECT_EQ(ch.frames_lost() + ch.frames_delivered(), (std::uint64_t)n);
+}
+
+TEST(Channel, InvalidUsageThrows) {
+  sim::EventQueue q;
+  Channel ch(q, util::Rng(1));
+  Capture a;
+  ch.add_node(0, &a);
+  EXPECT_THROW(ch.add_node(0, &a), util::PreconditionError);
+  EXPECT_THROW(ch.add_node(1, nullptr), util::PreconditionError);
+  EXPECT_THROW(ch.set_loss_rate(1.5), util::PreconditionError);
+  EXPECT_THROW(ch.add_link(3, 3), util::PreconditionError);
+  EXPECT_THROW(ch.transmit(9, data_packet(0), 10), util::PreconditionError);
+  EXPECT_THROW(ch.transmit(0, data_packet(1), 0), util::PreconditionError);
+}
+
+TEST(Topology, GridConnectivity) {
+  sim::EventQueue q;
+  Channel ch(q, util::Rng(1));
+  std::vector<Capture> caps(9);
+  for (NodeId i = 0; i < 9; ++i) ch.add_node(i, &caps[i]);
+  auto ids = make_grid(ch, 3, 3);
+  ASSERT_EQ(ids.size(), 9u);
+  // Center node 4 hears a broadcast from node 1 (adjacent) but corner 0
+  // does not hear node 8.
+  ch.transmit(1, data_packet(kBroadcast), 10);
+  q.run_all();
+  EXPECT_EQ(caps[4].frames.size(), 1u);
+  EXPECT_EQ(caps[0].frames.size(), 1u);  // 0-1 adjacent
+  EXPECT_TRUE(caps[8].frames.empty());   // 1 and 8 not adjacent
+  ch.transmit(8, data_packet(kBroadcast), 10);
+  q.run_all();
+  EXPECT_EQ(caps[0].frames.size(), 1u);  // 8's frame not heard at corner 0
+  EXPECT_EQ(caps[5].frames.size(), 1u);
+  EXPECT_EQ(caps[7].frames.size(), 1u);
+}
+
+TEST(Topology, StarConnectsLeavesToHubOnly) {
+  sim::EventQueue q;
+  Channel ch(q, util::Rng(1));
+  std::vector<Capture> caps(4);
+  for (NodeId i = 0; i < 4; ++i) ch.add_node(i, &caps[i]);
+  make_star(ch, 0, {1, 2, 3});
+  ch.transmit(1, data_packet(kBroadcast), 10);
+  q.run_all();
+  EXPECT_EQ(caps[0].frames.size(), 1u);
+  EXPECT_TRUE(caps[2].frames.empty());
+  EXPECT_TRUE(caps[3].frames.empty());
+}
+
+}  // namespace
+}  // namespace sent::net

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "proto/ctp.hpp"
+#include "proto/heartbeat.hpp"
+#include "util/assert.hpp"
+
+namespace sent::proto {
+namespace {
+
+net::Packet beacon_from(net::NodeId src, std::uint16_t etx) {
+  net::Packet b;
+  b.type = net::FrameType::Data;
+  b.am_type = am::kCtpBeacon;
+  b.src = src;
+  net::put_u16(b.payload, etx);
+  return b;
+}
+
+net::Packet data_from(net::NodeId origin, std::uint16_t seq) {
+  net::Packet p;
+  p.type = net::FrameType::Data;
+  p.am_type = am::kCtpData;
+  p.origin = origin;
+  p.seq = seq;
+  net::put_u16(p.payload, 42);
+  return p;
+}
+
+CtpConfig cfg(net::NodeId self, bool root = false, bool fixed = false) {
+  CtpConfig c;
+  c.self = self;
+  c.is_root = root;
+  c.fix_send_fail = fixed;
+  return c;
+}
+
+// ------------------------------------------------------------- routing
+
+TEST(CtpRouting, RootAdvertisesZeroEtx) {
+  CtpNode root(cfg(0, /*root=*/true));
+  EXPECT_EQ(root.path_etx(), 0);
+  net::Packet b = root.make_beacon();
+  EXPECT_EQ(b.am_type, am::kCtpBeacon);
+  EXPECT_EQ(b.dst, net::kBroadcast);
+  EXPECT_EQ(net::get_u16(b.payload, 0), 0);
+}
+
+TEST(CtpRouting, NoRouteBeforeAnyBeacon) {
+  CtpNode node(cfg(3));
+  EXPECT_EQ(node.path_etx(), CtpNode::kNoRoute);
+  EXPECT_FALSE(node.parent().has_value());
+}
+
+TEST(CtpRouting, PicksMinimumEtxParent) {
+  CtpNode node(cfg(3));
+  node.on_beacon(beacon_from(1, 2));
+  node.on_beacon(beacon_from(2, 1));
+  ASSERT_TRUE(node.parent().has_value());
+  EXPECT_EQ(*node.parent(), 2);
+  EXPECT_EQ(node.path_etx(), 2);  // 1 + link cost 1
+}
+
+TEST(CtpRouting, SwitchesParentOnBetterBeacon) {
+  CtpNode node(cfg(3));
+  node.on_beacon(beacon_from(1, 5));
+  EXPECT_EQ(*node.parent(), 1);
+  node.on_beacon(beacon_from(2, 0));  // direct root neighbor
+  EXPECT_EQ(*node.parent(), 2);
+  EXPECT_EQ(node.path_etx(), 1);
+}
+
+TEST(CtpRouting, IgnoresNeighborsWithoutRoute) {
+  CtpNode node(cfg(3));
+  node.on_beacon(beacon_from(1, CtpNode::kNoRoute));
+  EXPECT_FALSE(node.parent().has_value());
+  node.on_beacon(beacon_from(1, 3));
+  EXPECT_TRUE(node.parent().has_value());
+}
+
+TEST(CtpRouting, BeaconValidation) {
+  CtpNode node(cfg(3));
+  net::Packet bad = data_from(1, 0);
+  EXPECT_THROW(node.on_beacon(bad), util::PreconditionError);
+}
+
+// ---------------------------------------------------------- forwarding
+
+TEST(CtpForwarding, EnqueueLocalRequiresRoute) {
+  CtpNode node(cfg(3));
+  EXPECT_FALSE(node.enqueue_local(7));
+  EXPECT_EQ(node.drops_no_route(), 1u);
+  node.on_beacon(beacon_from(1, 0));
+  EXPECT_TRUE(node.enqueue_local(7));
+  EXPECT_EQ(node.queue_depth(), 1u);
+}
+
+TEST(CtpForwarding, HeadAddressedToParent) {
+  CtpNode node(cfg(3));
+  node.on_beacon(beacon_from(1, 0));
+  node.enqueue_local(9);
+  net::Packet head = node.head_for_send();
+  EXPECT_EQ(head.dst, 1);
+  EXPECT_EQ(head.origin, 3);
+  EXPECT_EQ(net::get_u16(head.payload, 0), 9);
+}
+
+TEST(CtpForwarding, QueueCapacityEnforced) {
+  CtpConfig c = cfg(3);
+  c.queue_capacity = 2;
+  CtpNode node(c);
+  node.on_beacon(beacon_from(1, 0));
+  EXPECT_TRUE(node.enqueue_local(1));
+  EXPECT_TRUE(node.enqueue_local(2));
+  EXPECT_FALSE(node.enqueue_local(3));
+  EXPECT_EQ(node.drops_queue_full(), 1u);
+}
+
+TEST(CtpForwarding, DuplicateSuppression) {
+  CtpNode node(cfg(3));
+  node.on_beacon(beacon_from(1, 0));
+  EXPECT_TRUE(node.enqueue_forward(data_from(7, 1)));
+  EXPECT_FALSE(node.enqueue_forward(data_from(7, 1)));
+  EXPECT_EQ(node.drops_duplicate(), 1u);
+  EXPECT_TRUE(node.enqueue_forward(data_from(7, 2)));
+  EXPECT_TRUE(node.enqueue_forward(data_from(8, 1)));
+}
+
+TEST(CtpForwarding, SeenCacheEvictsOldEntries) {
+  CtpNode node(cfg(3));
+  node.on_beacon(beacon_from(1, 0));
+  // Fill the cache far beyond capacity (64) with distinct seqs; capacity
+  // of the send queue is irrelevant here, drops_full packets still count
+  // as "seen".
+  for (std::uint16_t s = 0; s < 100; ++s)
+    node.enqueue_forward(data_from(7, s));
+  // seq 0 has been evicted from the cache by now -> accepted again.
+  EXPECT_EQ(node.drops_duplicate(), 0u);
+  std::uint64_t dups_before = node.drops_duplicate();
+  node.enqueue_forward(data_from(7, 0));
+  EXPECT_EQ(node.drops_duplicate(), dups_before);  // not flagged duplicate
+}
+
+TEST(CtpForwarding, RootDeliversInsteadOfQueueing) {
+  CtpNode root(cfg(0, /*root=*/true));
+  EXPECT_TRUE(root.enqueue_forward(data_from(5, 1)));
+  EXPECT_EQ(root.delivered_to_root(), 1u);
+  EXPECT_EQ(root.queue_depth(), 0u);
+}
+
+TEST(CtpForwarding, SendDoneSuccessPopsHead) {
+  CtpNode node(cfg(3));
+  node.on_beacon(beacon_from(1, 0));
+  node.enqueue_local(1);
+  node.enqueue_local(2);
+  node.mark_sending();
+  EXPECT_TRUE(node.sending());
+  bool more = node.on_send_done(hw::TxStatus::Success);
+  EXPECT_TRUE(more);
+  EXPECT_FALSE(node.sending());
+  EXPECT_EQ(node.queue_depth(), 1u);
+}
+
+TEST(CtpForwarding, SendDoneFailureRetransmitsThenDrops) {
+  CtpConfig c = cfg(3);
+  c.max_retx = 2;
+  CtpNode node(c);
+  node.on_beacon(beacon_from(1, 0));
+  node.enqueue_local(1);
+  node.mark_sending();
+  // Packet kept for retransmission -> the engine should pump again.
+  EXPECT_TRUE(node.on_send_done(hw::TxStatus::NoAck));  // retx 1, kept
+  EXPECT_EQ(node.queue_depth(), 1u);
+  node.mark_sending();
+  EXPECT_TRUE(node.on_send_done(hw::TxStatus::NoAck));  // retx 2, kept
+  node.mark_sending();
+  EXPECT_FALSE(node.on_send_done(hw::TxStatus::NoAck));  // exhausted, drop
+  EXPECT_EQ(node.queue_depth(), 0u);
+  EXPECT_EQ(node.drops_retx_exhausted(), 1u);
+}
+
+// --------------------------------------------------- the unhandled FAIL
+
+TEST(CtpBug, UnhandledSendFailWedgesTheEngine) {
+  CtpNode node(cfg(3));
+  node.on_beacon(beacon_from(1, 0));
+  node.enqueue_local(1);
+  node.mark_sending();
+  bool first = node.on_send_fail();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(node.hung());
+  EXPECT_TRUE(node.sending());  // the mark is never reset — the bug
+  EXPECT_EQ(node.send_fail_events(), 1u);
+  // A second failure is not "first manifestation" anymore.
+  EXPECT_FALSE(node.on_send_fail());
+}
+
+TEST(CtpBug, FixedVariantReleasesTheEngine) {
+  CtpNode node(cfg(3, /*root=*/false, /*fixed=*/true));
+  node.on_beacon(beacon_from(1, 0));
+  node.enqueue_local(1);
+  node.mark_sending();
+  bool first = node.on_send_fail();
+  EXPECT_FALSE(first);
+  EXPECT_FALSE(node.hung());
+  EXPECT_FALSE(node.sending());       // released: can retry
+  EXPECT_EQ(node.queue_depth(), 1u);  // packet kept for the retry
+}
+
+// ------------------------------------------------------------ heartbeat
+
+TEST(Heartbeat, PacketShape) {
+  Heartbeat hb(4, /*padding=*/10);
+  net::Packet p1 = hb.make_heartbeat();
+  net::Packet p2 = hb.make_heartbeat();
+  EXPECT_EQ(p1.am_type, am::kHeartbeat);
+  EXPECT_EQ(p1.dst, net::kBroadcast);
+  EXPECT_EQ(p1.origin, 4);
+  EXPECT_EQ(p1.payload.size(), 10u);
+  EXPECT_EQ(p2.seq, p1.seq + 1);
+  EXPECT_EQ(hb.sent(), 2u);
+}
+
+TEST(Heartbeat, AliveNeighborsWindow) {
+  Heartbeat hb(4);
+  net::Packet a;
+  a.am_type = am::kHeartbeat;
+  a.src = 1;
+  net::Packet b = a;
+  b.src = 2;
+  hb.on_heartbeat(a, 1000);
+  hb.on_heartbeat(b, 5000);
+  EXPECT_EQ(hb.alive_neighbors(5000, 10000), 2u);
+  EXPECT_EQ(hb.alive_neighbors(5000, 1000), 1u);  // only node 2 recent
+  EXPECT_EQ(hb.alive_neighbors(50000, 1000), 0u);
+}
+
+TEST(Heartbeat, RefreshedNeighborStaysAlive) {
+  Heartbeat hb(4);
+  net::Packet a;
+  a.am_type = am::kHeartbeat;
+  a.src = 1;
+  hb.on_heartbeat(a, 1000);
+  hb.on_heartbeat(a, 9000);
+  EXPECT_EQ(hb.alive_neighbors(9500, 1000), 1u);
+}
+
+TEST(Heartbeat, SkipCounter) {
+  Heartbeat hb(4);
+  hb.count_skip_busy();
+  hb.count_skip_busy();
+  EXPECT_EQ(hb.skipped_busy(), 2u);
+}
+
+TEST(Heartbeat, RejectsWrongAmType) {
+  Heartbeat hb(4);
+  net::Packet wrong;
+  wrong.am_type = am::kCtpData;
+  EXPECT_THROW(hb.on_heartbeat(wrong, 0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace sent::proto

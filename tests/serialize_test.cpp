@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "apps/scenarios.hpp"
+#include "core/anatomizer.hpp"
+#include "trace/serialize.hpp"
+
+namespace sent::trace {
+namespace {
+
+NodeTrace sample() {
+  NodeTrace t;
+  t.node_id = 7;
+  t.run_end = 5000;
+  t.instr_table = {{"handler", "a", 8}, {"task", "b", 12}};
+  t.lifecycle = {{LifecycleKind::Int, 100, 5, 0},
+                 {LifecycleKind::PostTask, 110, 0, 0},
+                 {LifecycleKind::Reti, 120, 5, 0},
+                 {LifecycleKind::RunTask, 130, 0, 180}};
+  t.instrs = {{104, 0}, {140, 1}, {160, 1}};
+  t.bugs = {{150, "data-pollution"}};
+  return t;
+}
+
+bool traces_equal(const NodeTrace& a, const NodeTrace& b) {
+  if (a.node_id != b.node_id || a.run_end != b.run_end) return false;
+  if (a.instr_table.size() != b.instr_table.size()) return false;
+  for (std::size_t i = 0; i < a.instr_table.size(); ++i) {
+    if (a.instr_table[i].code_object != b.instr_table[i].code_object ||
+        a.instr_table[i].name != b.instr_table[i].name ||
+        a.instr_table[i].cycles != b.instr_table[i].cycles)
+      return false;
+  }
+  if (a.lifecycle.size() != b.lifecycle.size()) return false;
+  for (std::size_t i = 0; i < a.lifecycle.size(); ++i) {
+    const auto& x = a.lifecycle[i];
+    const auto& y = b.lifecycle[i];
+    if (x.kind != y.kind || x.cycle != y.cycle || x.arg != y.arg)
+      return false;
+    if (x.kind == LifecycleKind::RunTask && x.end_cycle != y.end_cycle)
+      return false;
+  }
+  if (a.instrs.size() != b.instrs.size()) return false;
+  for (std::size_t i = 0; i < a.instrs.size(); ++i) {
+    if (a.instrs[i].cycle != b.instrs[i].cycle ||
+        a.instrs[i].instr != b.instrs[i].instr)
+      return false;
+  }
+  if (a.bugs.size() != b.bugs.size()) return false;
+  for (std::size_t i = 0; i < a.bugs.size(); ++i) {
+    if (a.bugs[i].cycle != b.bugs[i].cycle ||
+        a.bugs[i].kind != b.bugs[i].kind)
+      return false;
+  }
+  return true;
+}
+
+TEST(Serialize, RoundTripSmall) {
+  NodeTrace original = sample();
+  std::stringstream buffer;
+  save_trace(original, buffer);
+  NodeTrace restored = load_trace(buffer);
+  EXPECT_TRUE(traces_equal(original, restored));
+}
+
+TEST(Serialize, RoundTripEmptySections) {
+  NodeTrace t;
+  t.node_id = 1;
+  t.run_end = 10;
+  std::stringstream buffer;
+  save_trace(t, buffer);
+  NodeTrace restored = load_trace(buffer);
+  EXPECT_TRUE(traces_equal(t, restored));
+}
+
+TEST(Serialize, RoundTripRealScenarioTrace) {
+  apps::Case2Config config;
+  config.seed = 3;
+  config.run_seconds = 5.0;
+  apps::Case2Result result = apps::run_case2(config);
+  std::stringstream buffer;
+  save_trace(result.relay_trace, buffer);
+  NodeTrace restored = load_trace(buffer);
+  EXPECT_TRUE(traces_equal(result.relay_trace, restored));
+}
+
+TEST(Serialize, FormatIsHumanReadable) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  std::string text = buffer.str();
+  EXPECT_NE(text.find("SENTOMIST-TRACE v1"), std::string::npos);
+  EXPECT_NE(text.find("node 7"), std::string::npos);
+  EXPECT_NE(text.find("data-pollution"), std::string::npos);
+  EXPECT_NE(text.find("\nend\n"), std::string::npos);
+}
+
+TEST(Serialize, InstrStreamIsDeltaEncoded) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  std::string text = buffer.str();
+  // Cycles 104, 140, 160 encode as deltas 104, 36, 20.
+  EXPECT_NE(text.find("104\t0"), std::string::npos);
+  EXPECT_NE(text.find("36\t1"), std::string::npos);
+  EXPECT_NE(text.find("20\t1"), std::string::npos);
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  std::stringstream buffer("GARBAGE v1\n");
+  EXPECT_THROW(load_trace(buffer), MalformedTraceFile);
+  std::stringstream v2("SENTOMIST-TRACE v2\n");
+  EXPECT_THROW(load_trace(v2), MalformedTraceFile);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_trace(truncated), MalformedTraceFile);
+}
+
+TEST(Serialize, RejectsOutOfRangeInstructionId) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  std::string text = buffer.str();
+  // Corrupt an instruction id beyond the 2-entry table.
+  auto pos = text.find("104\t0");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "104\t9");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_trace(corrupted), MalformedTraceFile);
+}
+
+TEST(Serialize, RejectsMissingEndMarker) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  std::string text = buffer.str();
+  text.replace(text.rfind("end\n"), 4, "eof\n");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_trace(corrupted), MalformedTraceFile);
+}
+
+TEST(Serialize, RejectsNonNumericFields) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  std::string text = buffer.str();
+  auto pos = text.find("run_end 5000");
+  text.replace(pos, 12, "run_end xyz5");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(load_trace(corrupted), MalformedTraceFile);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "sentomist_roundtrip.trace";
+  save_trace_file(sample(), path);
+  NodeTrace restored = load_trace_file(path);
+  EXPECT_TRUE(traces_equal(sample(), restored));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_trace_file("/nonexistent/dir/x.trace"),
+               util::PreconditionError);
+  NodeTrace t = sample();
+  EXPECT_THROW(save_trace_file(t, "/nonexistent/dir/x.trace"),
+               util::PreconditionError);
+}
+
+// Loaded traces must be analyzable exactly like fresh ones.
+TEST(Serialize, LoadedTraceAnalyzesIdentically) {
+  apps::Case2Config config;
+  config.seed = 3;
+  config.run_seconds = 5.0;
+  apps::Case2Result result = apps::run_case2(config);
+  std::stringstream buffer;
+  save_trace(result.relay_trace, buffer);
+  NodeTrace restored = load_trace(buffer);
+
+  ::sent::core::Anatomizer original(result.relay_trace);
+  ::sent::core::Anatomizer reloaded(restored);
+  auto a = original.intervals_for(os::irq::kRadioSpi);
+  auto b = reloaded.intervals_for(os::irq::kRadioSpi);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_cycle, b[i].start_cycle);
+    EXPECT_EQ(a[i].end_cycle, b[i].end_cycle);
+    EXPECT_EQ(a[i].task_count, b[i].task_count);
+  }
+}
+
+}  // namespace
+}  // namespace sent::trace

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace sent::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(cycles_from_seconds(1.0), kCyclesPerSecond);
+  EXPECT_EQ(cycles_from_millis(1000.0), kCyclesPerSecond);
+  EXPECT_EQ(cycles_from_micros(1e6), kCyclesPerSecond);
+  EXPECT_DOUBLE_EQ(seconds_from_cycles(kCyclesPerSecond), 1.0);
+  EXPECT_DOUBLE_EQ(millis_from_cycles(kCyclesPerSecond / 2), 500.0);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(100, [&, i] { order.push_back(i); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  Cycle seen = 0;
+  q.schedule_at(50, [&] {
+    q.schedule_after(25, [&] { seen = q.now(); });
+  });
+  q.run_all();
+  EXPECT_EQ(seen, 75u);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_all();
+  EXPECT_EQ(q.now(), 10u);
+  EXPECT_THROW(q.schedule_at(5, [] {}), util::PreconditionError);
+}
+
+TEST(EventQueue, NullFunctionRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1, nullptr), util::PreconditionError);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule_at(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  q.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownOrTwiceIsFalse) {
+  EventQueue q;
+  EventId id = q.schedule_at(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(99999));
+  EXPECT_FALSE(q.cancel(0));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.schedule_at(10, [] {});
+  q.schedule_at(20, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.run_all();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive) {
+  EventQueue q;
+  std::vector<Cycle> fired;
+  q.schedule_at(10, [&] { fired.push_back(10); });
+  q.schedule_at(20, [&] { fired.push_back(20); });
+  q.schedule_at(21, [&] { fired.push_back(21); });
+  q.run_until(20);
+  EXPECT_EQ(fired, (std::vector<Cycle>{10, 20}));
+  EXPECT_EQ(q.size(), 1u);
+  q.run_all();
+  EXPECT_EQ(fired.back(), 21u);
+}
+
+TEST(EventQueue, RunUntilWithCancelledHead) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule_at(5, [&] { ran = true; });
+  q.schedule_at(10, [&] {});
+  q.cancel(id);
+  q.run_until(100);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(1, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, AdvanceToMovesClockWithoutEvents) {
+  EventQueue q;
+  q.advance_to(500);
+  EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, AdvanceToCannotSkipPendingEvent) {
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  EXPECT_THROW(q.advance_to(200), util::PreconditionError);
+}
+
+TEST(EventQueue, AdvanceToBackwardThrows) {
+  EventQueue q;
+  q.advance_to(10);
+  EXPECT_THROW(q.advance_to(5), util::PreconditionError);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.schedule_after(7, recurse);
+  };
+  q.schedule_at(0, recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.now(), 63u);
+  EXPECT_EQ(q.executed(), 10u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<Cycle> times;
+  // Schedule deliberately out of order.
+  for (int i = 999; i >= 0; --i)
+    q.schedule_at(static_cast<Cycle>((i * 37) % 1000),
+                  [&, i] { times.push_back(q.now()); });
+  q.run_all();
+  ASSERT_EQ(times.size(), 1000u);
+  for (std::size_t i = 1; i < times.size(); ++i)
+    EXPECT_LE(times[i - 1], times[i]);
+}
+
+}  // namespace
+}  // namespace sent::sim
