@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_baseline_dustminer.dir/ext_baseline_dustminer.cpp.o"
+  "CMakeFiles/ext_baseline_dustminer.dir/ext_baseline_dustminer.cpp.o.d"
+  "ext_baseline_dustminer"
+  "ext_baseline_dustminer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_baseline_dustminer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_case4_dissemination.dir/ext_case4_dissemination.cpp.o"
+  "CMakeFiles/ext_case4_dissemination.dir/ext_case4_dissemination.cpp.o.d"
+  "ext_case4_dissemination"
+  "ext_case4_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_case4_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

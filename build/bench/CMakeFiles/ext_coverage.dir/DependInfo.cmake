@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_coverage.cpp" "bench/CMakeFiles/ext_coverage.dir/ext_coverage.cpp.o" "gcc" "bench/CMakeFiles/ext_coverage.dir/ext_coverage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sent_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_localization.dir/ext_localization.cpp.o"
+  "CMakeFiles/ext_localization.dir/ext_localization.cpp.o.d"
+  "ext_localization"
+  "ext_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

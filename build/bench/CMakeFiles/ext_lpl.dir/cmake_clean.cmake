@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lpl.dir/ext_lpl.cpp.o"
+  "CMakeFiles/ext_lpl.dir/ext_lpl.cpp.o.d"
+  "ext_lpl"
+  "ext_lpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

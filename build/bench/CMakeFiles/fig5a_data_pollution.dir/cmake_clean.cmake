@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_data_pollution.dir/fig5a_data_pollution.cpp.o"
+  "CMakeFiles/fig5a_data_pollution.dir/fig5a_data_pollution.cpp.o.d"
+  "fig5a_data_pollution"
+  "fig5a_data_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_data_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_packet_loss.dir/fig5b_packet_loss.cpp.o"
+  "CMakeFiles/fig5b_packet_loss.dir/fig5b_packet_loss.cpp.o.d"
+  "fig5b_packet_loss"
+  "fig5b_packet_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_packet_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_ctp_heartbeat.dir/fig5c_ctp_heartbeat.cpp.o"
+  "CMakeFiles/fig5c_ctp_heartbeat.dir/fig5c_ctp_heartbeat.cpp.o.d"
+  "fig5c_ctp_heartbeat"
+  "fig5c_ctp_heartbeat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_ctp_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_traces.dir/analyze_traces.cpp.o"
+  "CMakeFiles/analyze_traces.dir/analyze_traces.cpp.o.d"
+  "analyze_traces"
+  "analyze_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_data_race.dir/find_data_race.cpp.o"
+  "CMakeFiles/find_data_race.dir/find_data_race.cpp.o.d"
+  "find_data_race"
+  "find_data_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_data_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

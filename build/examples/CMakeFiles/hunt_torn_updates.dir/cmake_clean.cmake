@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hunt_torn_updates.dir/hunt_torn_updates.cpp.o"
+  "CMakeFiles/hunt_torn_updates.dir/hunt_torn_updates.cpp.o.d"
+  "hunt_torn_updates"
+  "hunt_torn_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hunt_torn_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

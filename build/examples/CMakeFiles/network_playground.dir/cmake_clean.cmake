@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_playground.dir/network_playground.cpp.o"
+  "CMakeFiles/network_playground.dir/network_playground.cpp.o.d"
+  "network_playground"
+  "network_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_apps.dir/apps/ctp_heartbeat.cpp.o"
+  "CMakeFiles/sent_apps.dir/apps/ctp_heartbeat.cpp.o.d"
+  "CMakeFiles/sent_apps.dir/apps/dissemination.cpp.o"
+  "CMakeFiles/sent_apps.dir/apps/dissemination.cpp.o.d"
+  "CMakeFiles/sent_apps.dir/apps/forwarding.cpp.o"
+  "CMakeFiles/sent_apps.dir/apps/forwarding.cpp.o.d"
+  "CMakeFiles/sent_apps.dir/apps/oscilloscope.cpp.o"
+  "CMakeFiles/sent_apps.dir/apps/oscilloscope.cpp.o.d"
+  "CMakeFiles/sent_apps.dir/apps/scenarios.cpp.o"
+  "CMakeFiles/sent_apps.dir/apps/scenarios.cpp.o.d"
+  "CMakeFiles/sent_apps.dir/apps/sink.cpp.o"
+  "CMakeFiles/sent_apps.dir/apps/sink.cpp.o.d"
+  "libsent_apps.a"
+  "libsent_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anatomizer.cpp" "src/CMakeFiles/sent_core.dir/core/anatomizer.cpp.o" "gcc" "src/CMakeFiles/sent_core.dir/core/anatomizer.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/CMakeFiles/sent_core.dir/core/coverage.cpp.o" "gcc" "src/CMakeFiles/sent_core.dir/core/coverage.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/CMakeFiles/sent_core.dir/core/detector.cpp.o" "gcc" "src/CMakeFiles/sent_core.dir/core/detector.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/CMakeFiles/sent_core.dir/core/features.cpp.o" "gcc" "src/CMakeFiles/sent_core.dir/core/features.cpp.o.d"
+  "/root/repo/src/core/int_reti.cpp" "src/CMakeFiles/sent_core.dir/core/int_reti.cpp.o" "gcc" "src/CMakeFiles/sent_core.dir/core/int_reti.cpp.o.d"
+  "/root/repo/src/core/localizer.cpp" "src/CMakeFiles/sent_core.dir/core/localizer.cpp.o" "gcc" "src/CMakeFiles/sent_core.dir/core/localizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sent_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

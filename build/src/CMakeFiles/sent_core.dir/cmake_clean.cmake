@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_core.dir/core/anatomizer.cpp.o"
+  "CMakeFiles/sent_core.dir/core/anatomizer.cpp.o.d"
+  "CMakeFiles/sent_core.dir/core/coverage.cpp.o"
+  "CMakeFiles/sent_core.dir/core/coverage.cpp.o.d"
+  "CMakeFiles/sent_core.dir/core/detector.cpp.o"
+  "CMakeFiles/sent_core.dir/core/detector.cpp.o.d"
+  "CMakeFiles/sent_core.dir/core/features.cpp.o"
+  "CMakeFiles/sent_core.dir/core/features.cpp.o.d"
+  "CMakeFiles/sent_core.dir/core/int_reti.cpp.o"
+  "CMakeFiles/sent_core.dir/core/int_reti.cpp.o.d"
+  "CMakeFiles/sent_core.dir/core/localizer.cpp.o"
+  "CMakeFiles/sent_core.dir/core/localizer.cpp.o.d"
+  "libsent_core.a"
+  "libsent_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_hw.dir/hw/adc.cpp.o"
+  "CMakeFiles/sent_hw.dir/hw/adc.cpp.o.d"
+  "CMakeFiles/sent_hw.dir/hw/energy.cpp.o"
+  "CMakeFiles/sent_hw.dir/hw/energy.cpp.o.d"
+  "CMakeFiles/sent_hw.dir/hw/radio.cpp.o"
+  "CMakeFiles/sent_hw.dir/hw/radio.cpp.o.d"
+  "CMakeFiles/sent_hw.dir/hw/sensor.cpp.o"
+  "CMakeFiles/sent_hw.dir/hw/sensor.cpp.o.d"
+  "libsent_hw.a"
+  "libsent_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_mcu.dir/mcu/machine.cpp.o"
+  "CMakeFiles/sent_mcu.dir/mcu/machine.cpp.o.d"
+  "CMakeFiles/sent_mcu.dir/mcu/program.cpp.o"
+  "CMakeFiles/sent_mcu.dir/mcu/program.cpp.o.d"
+  "libsent_mcu.a"
+  "libsent_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

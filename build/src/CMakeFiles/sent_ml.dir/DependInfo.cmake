@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/detectors.cpp" "src/CMakeFiles/sent_ml.dir/ml/detectors.cpp.o" "gcc" "src/CMakeFiles/sent_ml.dir/ml/detectors.cpp.o.d"
+  "/root/repo/src/ml/dustminer.cpp" "src/CMakeFiles/sent_ml.dir/ml/dustminer.cpp.o" "gcc" "src/CMakeFiles/sent_ml.dir/ml/dustminer.cpp.o.d"
+  "/root/repo/src/ml/eigen.cpp" "src/CMakeFiles/sent_ml.dir/ml/eigen.cpp.o" "gcc" "src/CMakeFiles/sent_ml.dir/ml/eigen.cpp.o.d"
+  "/root/repo/src/ml/kernel.cpp" "src/CMakeFiles/sent_ml.dir/ml/kernel.cpp.o" "gcc" "src/CMakeFiles/sent_ml.dir/ml/kernel.cpp.o.d"
+  "/root/repo/src/ml/kfd.cpp" "src/CMakeFiles/sent_ml.dir/ml/kfd.cpp.o" "gcc" "src/CMakeFiles/sent_ml.dir/ml/kfd.cpp.o.d"
+  "/root/repo/src/ml/ocsvm.cpp" "src/CMakeFiles/sent_ml.dir/ml/ocsvm.cpp.o" "gcc" "src/CMakeFiles/sent_ml.dir/ml/ocsvm.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/CMakeFiles/sent_ml.dir/ml/scaler.cpp.o" "gcc" "src/CMakeFiles/sent_ml.dir/ml/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sent_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_ml.dir/ml/detectors.cpp.o"
+  "CMakeFiles/sent_ml.dir/ml/detectors.cpp.o.d"
+  "CMakeFiles/sent_ml.dir/ml/dustminer.cpp.o"
+  "CMakeFiles/sent_ml.dir/ml/dustminer.cpp.o.d"
+  "CMakeFiles/sent_ml.dir/ml/eigen.cpp.o"
+  "CMakeFiles/sent_ml.dir/ml/eigen.cpp.o.d"
+  "CMakeFiles/sent_ml.dir/ml/kernel.cpp.o"
+  "CMakeFiles/sent_ml.dir/ml/kernel.cpp.o.d"
+  "CMakeFiles/sent_ml.dir/ml/kfd.cpp.o"
+  "CMakeFiles/sent_ml.dir/ml/kfd.cpp.o.d"
+  "CMakeFiles/sent_ml.dir/ml/ocsvm.cpp.o"
+  "CMakeFiles/sent_ml.dir/ml/ocsvm.cpp.o.d"
+  "CMakeFiles/sent_ml.dir/ml/scaler.cpp.o"
+  "CMakeFiles/sent_ml.dir/ml/scaler.cpp.o.d"
+  "libsent_ml.a"
+  "libsent_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

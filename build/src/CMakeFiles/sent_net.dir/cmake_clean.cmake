@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_net.dir/net/channel.cpp.o"
+  "CMakeFiles/sent_net.dir/net/channel.cpp.o.d"
+  "CMakeFiles/sent_net.dir/net/packet.cpp.o"
+  "CMakeFiles/sent_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/sent_net.dir/net/topology.cpp.o"
+  "CMakeFiles/sent_net.dir/net/topology.cpp.o.d"
+  "libsent_net.a"
+  "libsent_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

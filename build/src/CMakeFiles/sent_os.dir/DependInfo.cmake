@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cpp" "src/CMakeFiles/sent_os.dir/os/kernel.cpp.o" "gcc" "src/CMakeFiles/sent_os.dir/os/kernel.cpp.o.d"
+  "/root/repo/src/os/node.cpp" "src/CMakeFiles/sent_os.dir/os/node.cpp.o" "gcc" "src/CMakeFiles/sent_os.dir/os/node.cpp.o.d"
+  "/root/repo/src/os/timer.cpp" "src/CMakeFiles/sent_os.dir/os/timer.cpp.o" "gcc" "src/CMakeFiles/sent_os.dir/os/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sent_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sent_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

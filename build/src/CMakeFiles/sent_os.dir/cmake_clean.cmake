@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_os.dir/os/kernel.cpp.o"
+  "CMakeFiles/sent_os.dir/os/kernel.cpp.o.d"
+  "CMakeFiles/sent_os.dir/os/node.cpp.o"
+  "CMakeFiles/sent_os.dir/os/node.cpp.o.d"
+  "CMakeFiles/sent_os.dir/os/timer.cpp.o"
+  "CMakeFiles/sent_os.dir/os/timer.cpp.o.d"
+  "libsent_os.a"
+  "libsent_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsent_os.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_pipeline.dir/pipeline/campaign.cpp.o"
+  "CMakeFiles/sent_pipeline.dir/pipeline/campaign.cpp.o.d"
+  "CMakeFiles/sent_pipeline.dir/pipeline/inspect.cpp.o"
+  "CMakeFiles/sent_pipeline.dir/pipeline/inspect.cpp.o.d"
+  "CMakeFiles/sent_pipeline.dir/pipeline/sentomist.cpp.o"
+  "CMakeFiles/sent_pipeline.dir/pipeline/sentomist.cpp.o.d"
+  "libsent_pipeline.a"
+  "libsent_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

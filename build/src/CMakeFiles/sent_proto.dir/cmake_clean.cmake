@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_proto.dir/proto/ctp.cpp.o"
+  "CMakeFiles/sent_proto.dir/proto/ctp.cpp.o.d"
+  "CMakeFiles/sent_proto.dir/proto/heartbeat.cpp.o"
+  "CMakeFiles/sent_proto.dir/proto/heartbeat.cpp.o.d"
+  "CMakeFiles/sent_proto.dir/proto/trickle.cpp.o"
+  "CMakeFiles/sent_proto.dir/proto/trickle.cpp.o.d"
+  "libsent_proto.a"
+  "libsent_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

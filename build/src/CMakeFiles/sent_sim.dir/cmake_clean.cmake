@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/sent_sim.dir/sim/event_queue.cpp.o.d"
+  "libsent_sim.a"
+  "libsent_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

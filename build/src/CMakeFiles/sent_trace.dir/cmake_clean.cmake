@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_trace.dir/trace/lifecycle.cpp.o"
+  "CMakeFiles/sent_trace.dir/trace/lifecycle.cpp.o.d"
+  "CMakeFiles/sent_trace.dir/trace/profile.cpp.o"
+  "CMakeFiles/sent_trace.dir/trace/profile.cpp.o.d"
+  "CMakeFiles/sent_trace.dir/trace/recorder.cpp.o"
+  "CMakeFiles/sent_trace.dir/trace/recorder.cpp.o.d"
+  "CMakeFiles/sent_trace.dir/trace/serialize.cpp.o"
+  "CMakeFiles/sent_trace.dir/trace/serialize.cpp.o.d"
+  "libsent_trace.a"
+  "libsent_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

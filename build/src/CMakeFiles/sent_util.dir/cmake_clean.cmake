@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sent_util.dir/util/assert.cpp.o"
+  "CMakeFiles/sent_util.dir/util/assert.cpp.o.d"
+  "CMakeFiles/sent_util.dir/util/cli.cpp.o"
+  "CMakeFiles/sent_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/sent_util.dir/util/log.cpp.o"
+  "CMakeFiles/sent_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/sent_util.dir/util/rng.cpp.o"
+  "CMakeFiles/sent_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/sent_util.dir/util/stats.cpp.o"
+  "CMakeFiles/sent_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/sent_util.dir/util/table.cpp.o"
+  "CMakeFiles/sent_util.dir/util/table.cpp.o.d"
+  "libsent_util.a"
+  "libsent_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sent_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

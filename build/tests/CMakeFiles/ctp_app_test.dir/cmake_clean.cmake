@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctp_app_test.dir/ctp_app_test.cpp.o"
+  "CMakeFiles/ctp_app_test.dir/ctp_app_test.cpp.o.d"
+  "ctp_app_test"
+  "ctp_app_test.pdb"
+  "ctp_app_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctp_app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

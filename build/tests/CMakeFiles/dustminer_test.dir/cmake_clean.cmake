@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dustminer_test.dir/dustminer_test.cpp.o"
+  "CMakeFiles/dustminer_test.dir/dustminer_test.cpp.o.d"
+  "dustminer_test"
+  "dustminer_test.pdb"
+  "dustminer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dustminer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_channel_test.dir/energy_channel_test.cpp.o"
+  "CMakeFiles/energy_channel_test.dir/energy_channel_test.cpp.o.d"
+  "energy_channel_test"
+  "energy_channel_test.pdb"
+  "energy_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

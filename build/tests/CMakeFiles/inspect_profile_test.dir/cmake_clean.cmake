@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_profile_test.dir/inspect_profile_test.cpp.o"
+  "CMakeFiles/inspect_profile_test.dir/inspect_profile_test.cpp.o.d"
+  "inspect_profile_test"
+  "inspect_profile_test.pdb"
+  "inspect_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcu_test.dir/mcu_test.cpp.o"
+  "CMakeFiles/mcu_test.dir/mcu_test.cpp.o.d"
+  "mcu_test"
+  "mcu_test.pdb"
+  "mcu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

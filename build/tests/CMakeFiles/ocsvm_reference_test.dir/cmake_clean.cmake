@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsvm_reference_test.dir/ocsvm_reference_test.cpp.o"
+  "CMakeFiles/ocsvm_reference_test.dir/ocsvm_reference_test.cpp.o.d"
+  "ocsvm_reference_test"
+  "ocsvm_reference_test.pdb"
+  "ocsvm_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsvm_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
