@@ -16,6 +16,7 @@
 #include "ml/kfd.hpp"
 #include "ml/ocsvm.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace sent;
 
@@ -26,13 +27,19 @@ struct NamedDetector {
   std::function<std::shared_ptr<core::OutlierDetector>()> make;
 };
 
-const std::vector<NamedDetector>& detectors() {
-  static const std::vector<NamedDetector> all{
-      {"ocsvm-rbf", [] { return std::make_shared<ml::OneClassSvm>(); }},
+std::vector<NamedDetector> detectors(std::size_t jobs) {
+  return {
+      {"ocsvm-rbf",
+       [jobs] {
+         ml::OcsvmParams p;
+         p.threads = jobs;
+         return std::make_shared<ml::OneClassSvm>(p);
+       }},
       {"ocsvm-linear",
-       [] {
+       [jobs] {
          ml::OcsvmParams p;
          p.kernel.type = ml::KernelType::Linear;
+         p.threads = jobs;
          return std::make_shared<ml::OneClassSvm>(p);
        }},
       {"pca", [] { return std::make_shared<ml::PcaDetector>(); }},
@@ -43,13 +50,12 @@ const std::vector<NamedDetector>& detectors() {
       {"oc-kfd",
        [] { return std::make_shared<ml::KernelFisherDetector>(); }},
   };
-  return all;
 }
 
 void report_rows(util::Table& table, const std::string& case_name,
                  const std::vector<pipeline::TaggedTrace>& traces,
-                 trace::IrqLine line) {
-  for (const auto& d : detectors()) {
+                 trace::IrqLine line, std::size_t jobs) {
+  for (const auto& d : detectors(jobs)) {
     pipeline::AnalysisOptions options;
     options.detector = d.make();
     pipeline::AnalysisReport report = analyze(traces, line, options);
@@ -66,8 +72,11 @@ void report_rows(util::Table& table, const std::string& case_name,
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("seed", "experiment seed", "5");
+  cli.add_flag("jobs", "OCSVM kernel-build threads (0 = all cores)", "0");
   if (!cli.parse(argc, argv)) return 1;
   auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
 
   bench::section("Ablation A1: outlier-detector comparison");
   util::Table table({"case", "detector", "samples", "buggy",
@@ -80,14 +89,14 @@ int main(int argc, char** argv) {
     std::vector<pipeline::TaggedTrace> traces;
     for (std::size_t i = 0; i < r.runs.size(); ++i)
       traces.push_back({&r.runs[i].sensor_trace, i});
-    report_rows(table, "I data-pollution", traces, os::irq::kAdc);
+    report_rows(table, "I data-pollution", traces, os::irq::kAdc, jobs);
   }
   {
     apps::Case2Config config;
     config.seed = 3;
     apps::Case2Result r = apps::run_case2(config);
     std::vector<pipeline::TaggedTrace> traces{{&r.relay_trace, 0}};
-    report_rows(table, "II busy-drop", traces, os::irq::kRadioSpi);
+    report_rows(table, "II busy-drop", traces, os::irq::kRadioSpi, jobs);
   }
   {
     apps::Case3Config config;
@@ -96,7 +105,7 @@ int main(int argc, char** argv) {
     std::vector<pipeline::TaggedTrace> traces;
     for (net::NodeId src : r.sources)
       traces.push_back({&r.traces[src], 0});
-    report_rows(table, "III ctp-hang", traces, r.report_line);
+    report_rows(table, "III ctp-hang", traces, r.report_line, jobs);
   }
 
   std::fputs(table.render().c_str(), stdout);

@@ -9,6 +9,7 @@
 #include "apps/scenarios.hpp"
 #include "bench_util.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace sent;
 
@@ -16,12 +17,13 @@ namespace {
 
 void report_rows(util::Table& table, const std::string& case_name,
                  const std::vector<pipeline::TaggedTrace>& traces,
-                 trace::IrqLine line) {
+                 trace::IrqLine line, std::size_t jobs) {
   for (pipeline::FeatureKind kind :
        {pipeline::FeatureKind::InstructionCounter,
         pipeline::FeatureKind::CodeObject, pipeline::FeatureKind::Coarse}) {
     pipeline::AnalysisOptions options;
     options.features = kind;
+    options.detector = pipeline::default_detector(jobs);
     pipeline::AnalysisReport report = analyze(traces, line, options);
     table.add_row({case_name, pipeline::to_string(kind),
                    util::cell(report.feature_dim),
@@ -35,8 +37,11 @@ void report_rows(util::Table& table, const std::string& case_name,
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("seed", "experiment seed", "5");
+  cli.add_flag("jobs", "OCSVM kernel-build threads (0 = all cores)", "0");
   if (!cli.parse(argc, argv)) return 1;
   auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
 
   bench::section("Ablation A2: interval featurization comparison");
   util::Table table(
@@ -49,14 +54,14 @@ int main(int argc, char** argv) {
     std::vector<pipeline::TaggedTrace> traces;
     for (std::size_t i = 0; i < r.runs.size(); ++i)
       traces.push_back({&r.runs[i].sensor_trace, i});
-    report_rows(table, "I data-pollution", traces, os::irq::kAdc);
+    report_rows(table, "I data-pollution", traces, os::irq::kAdc, jobs);
   }
   {
     apps::Case2Config config;
     config.seed = 3;
     apps::Case2Result r = apps::run_case2(config);
     std::vector<pipeline::TaggedTrace> traces{{&r.relay_trace, 0}};
-    report_rows(table, "II busy-drop", traces, os::irq::kRadioSpi);
+    report_rows(table, "II busy-drop", traces, os::irq::kRadioSpi, jobs);
   }
 
   std::fputs(table.render().c_str(), stdout);

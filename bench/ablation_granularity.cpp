@@ -18,6 +18,7 @@
 #include "core/int_reti.hpp"
 #include "ml/ocsvm.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace sent;
 
@@ -32,7 +33,8 @@ struct Graded {
 
 // Rank custom interval windows built from (possibly several) traces.
 Graded grade(const std::vector<const trace::NodeTrace*>& traces,
-             const std::vector<std::vector<core::EventInterval>>& windows) {
+             const std::vector<std::vector<core::EventInterval>>& windows,
+             std::size_t jobs) {
   core::FeatureMatrix matrix;
   std::vector<bool> has_bug;
   for (std::size_t t = 0; t < traces.size(); ++t) {
@@ -46,7 +48,9 @@ Graded grade(const std::vector<const trace::NodeTrace*>& traces,
       has_bug.push_back(bug);
     }
   }
-  ml::OneClassSvm svm;
+  ml::OcsvmParams params;
+  params.threads = jobs;
+  ml::OneClassSvm svm(params);
   std::vector<double> scores = svm.score(matrix.rows);
   auto ranked = core::rank_ascending(scores);
 
@@ -115,10 +119,13 @@ int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("seed", "experiment seed", "5");
   cli.add_flag("window-ms", "fixed-window width in ms", "20");
+  cli.add_flag("jobs", "OCSVM kernel-build threads (0 = all cores)", "0");
   if (!cli.parse(argc, argv)) return 1;
 
   apps::Case1Config config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
   apps::Case1Result r = apps::run_case1(config);
 
   std::vector<const trace::NodeTrace*> traces;
@@ -130,7 +137,7 @@ int main(int argc, char** argv) {
 
   auto add = [&](const std::string& name,
                  const std::vector<std::vector<core::EventInterval>>& w) {
-    Graded g = grade(traces, w);
+    Graded g = grade(traces, w, jobs);
     table.add_row({name, util::cell(g.samples), util::cell(g.buggy),
                    util::cell(g.first_rank), util::cell(g.precision5, 3)});
   };

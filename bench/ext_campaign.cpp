@@ -1,74 +1,181 @@
 // Extension E2 — randomized test campaigns: quantify how TRANSIENT each
 // case-study bug is (trigger rate across seeds) versus how reliably
 // Sentomist surfaces it when it does fire (top-k detection rate).
+//
+// Each case is run twice — serially and fanned out over --jobs pool
+// workers — both to measure the multi-core speedup and to check, every
+// time, that parallel campaigns produce bit-identical CampaignStats.
+// Timings land in BENCH_campaign.json for tooling.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "apps/scenarios.hpp"
 #include "bench_util.hpp"
 #include "pipeline/campaign.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace sent;
+
+namespace {
+
+struct CaseTiming {
+  std::string name;
+  std::size_t runs = 0;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  bool identical = false;
+
+  double speedup() const {
+    return parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Run the campaign serially and with `jobs` workers; print the summary
+/// and record wall-clock for both.
+CaseTiming run_both(const std::string& name, const char* printf_label,
+                    const pipeline::ScenarioRunner& runner,
+                    pipeline::CampaignOptions options, std::size_t jobs) {
+  CaseTiming timing;
+  timing.name = name;
+  timing.runs = options.runs;
+
+  options.threads = 1;
+  auto t0 = std::chrono::steady_clock::now();
+  pipeline::CampaignStats serial = pipeline::run_campaign(runner, options);
+  timing.serial_seconds = seconds_since(t0);
+
+  options.threads = jobs;
+  t0 = std::chrono::steady_clock::now();
+  pipeline::CampaignStats parallel = pipeline::run_campaign(runner, options);
+  timing.parallel_seconds = seconds_since(t0);
+
+  timing.identical = serial == parallel;
+  std::printf("%s %s\n", printf_label, pipeline::summarize(serial).c_str());
+  if (!timing.identical)
+    std::printf("  !! parallel (--jobs %zu) stats DIVERGED from serial\n",
+                jobs);
+  return timing;
+}
+
+bool write_json(const std::string& path, std::size_t jobs,
+                const std::vector<CaseTiming>& timings) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  double serial_total = 0.0, parallel_total = 0.0;
+  os << "{\n  \"jobs\": " << jobs << ",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const CaseTiming& t = timings[i];
+    serial_total += t.serial_seconds;
+    parallel_total += t.parallel_seconds;
+    os << "    {\"name\": \"" << t.name << "\", \"runs\": " << t.runs
+       << ", \"serial_seconds\": " << t.serial_seconds
+       << ", \"parallel_seconds\": " << t.parallel_seconds
+       << ", \"speedup\": " << t.speedup()
+       << ", \"identical\": " << (t.identical ? "true" : "false") << "}"
+       << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  double speedup =
+      parallel_total > 0.0 ? serial_total / parallel_total : 0.0;
+  os << "  ],\n  \"total_serial_seconds\": " << serial_total
+     << ",\n  \"total_parallel_seconds\": " << parallel_total
+     << ",\n  \"speedup\": " << speedup << "\n}\n";
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("runs", "seeds per case", "20");
   cli.add_flag("top-k", "detection cut-off", "5");
   cli.add_flag("first-seed", "first seed", "1");
+  cli.add_flag("jobs", "campaign worker threads (0 = all hardware cores)",
+               "0");
+  cli.add_flag("json", "timing output file", "BENCH_campaign.json");
   if (!cli.parse(argc, argv)) return 1;
-  auto runs = static_cast<std::size_t>(cli.get_int("runs"));
-  auto k = static_cast<std::size_t>(cli.get_int("top-k"));
-  auto first = static_cast<std::uint64_t>(cli.get_int("first-seed"));
+
+  pipeline::CampaignOptions options;
+  options.runs = static_cast<std::size_t>(cli.get_int("runs"));
+  options.k = static_cast<std::size_t>(cli.get_int("top-k"));
+  options.first_seed = static_cast<std::uint64_t>(cli.get_int("first-seed"));
+  std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
 
   bench::section("Extension E2: randomized campaigns (trigger vs detect)");
+  std::printf("jobs: %zu (serial baseline rerun for the speedup check)\n\n",
+              jobs);
+  std::vector<CaseTiming> timings;
 
-  {
-    pipeline::CampaignStats stats = pipeline::run_campaign(
-        [](std::uint64_t seed) {
-          apps::Case1Config config;
-          config.seed = seed;
-          config.sample_periods_ms = {20};  // the vulnerable rate
-          config.run_seconds = 10.0;
-          apps::Case1Result r = apps::run_case1(config);
-          return pipeline::analyze({{&r.runs[0].sensor_trace, 0}},
-                                   os::irq::kAdc);
-        },
-        first, runs, k);
-    std::printf("case I  (D=20ms, 10s):  %s\n",
-                pipeline::summarize(stats).c_str());
+  timings.push_back(run_both(
+      "case I (D=20ms, 10s)", "case I  (D=20ms, 10s): ",
+      [](std::uint64_t seed) {
+        apps::Case1Config config;
+        config.seed = seed;
+        config.sample_periods_ms = {20};  // the vulnerable rate
+        config.run_seconds = 10.0;
+        apps::Case1Result r = apps::run_case1(config);
+        return pipeline::analyze({{&r.runs[0].sensor_trace, 0}},
+                                 os::irq::kAdc);
+      },
+      options, jobs));
+
+  timings.push_back(run_both(
+      "case II (20s)", "case II (20s):         ",
+      [](std::uint64_t seed) {
+        apps::Case2Config config;
+        config.seed = seed;
+        apps::Case2Result r = apps::run_case2(config);
+        return pipeline::analyze({{&r.relay_trace, 0}},
+                                 os::irq::kRadioSpi);
+      },
+      options, jobs));
+
+  timings.push_back(run_both(
+      "case III (9 nodes, 15s)", "case III (9 nodes, 15s):",
+      [](std::uint64_t seed) {
+        apps::Case3Config config;
+        config.seed = seed;
+        apps::Case3Result r = apps::run_case3(config);
+        std::vector<pipeline::TaggedTrace> traces;
+        for (net::NodeId src : r.sources)
+          traces.push_back({&r.traces[src], 0});
+        return analyze(traces, r.report_line);
+      },
+      options, jobs));
+
+  double serial_total = 0.0, parallel_total = 0.0;
+  bool all_identical = true;
+  for (const CaseTiming& t : timings) {
+    serial_total += t.serial_seconds;
+    parallel_total += t.parallel_seconds;
+    all_identical = all_identical && t.identical;
   }
-  {
-    pipeline::CampaignStats stats = pipeline::run_campaign(
-        [](std::uint64_t seed) {
-          apps::Case2Config config;
-          config.seed = seed;
-          apps::Case2Result r = apps::run_case2(config);
-          return pipeline::analyze({{&r.relay_trace, 0}},
-                                   os::irq::kRadioSpi);
-        },
-        first, runs, k);
-    std::printf("case II (20s):          %s\n",
-                pipeline::summarize(stats).c_str());
-  }
-  {
-    pipeline::CampaignStats stats = pipeline::run_campaign(
-        [](std::uint64_t seed) {
-          apps::Case3Config config;
-          config.seed = seed;
-          apps::Case3Result r = apps::run_case3(config);
-          std::vector<pipeline::TaggedTrace> traces;
-          for (net::NodeId src : r.sources)
-            traces.push_back({&r.traces[src], 0});
-          return analyze(traces, r.report_line);
-        },
-        first, runs, k);
-    std::printf("case III (9 nodes, 15s): %s\n",
-                pipeline::summarize(stats).c_str());
-  }
+  std::printf(
+      "\nwall-clock: serial %.2fs, --jobs %zu %.2fs (speedup %.2fx); "
+      "stats %s\n",
+      serial_total, jobs, parallel_total,
+      parallel_total > 0.0 ? serial_total / parallel_total : 0.0,
+      all_identical ? "identical" : "DIVERGED");
+
+  if (write_json(cli.get("json"), jobs, timings))
+    std::printf("timing written to %s\n", cli.get("json").c_str());
 
   std::printf(
       "\nTrigger rate is a property of the workload (the bug's transience);"
       "\ndetection rate is the tool's contribution once a trace contains "
       "the symptom.\n");
-  return 0;
+  return all_identical ? 0 : 1;
 }

@@ -13,16 +13,19 @@
 #include "apps/scenarios.hpp"
 #include "bench_util.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace sent;
 
 namespace {
 
 void run_row(util::Table& table, const std::string& label,
-             apps::Case2Config config) {
+             apps::Case2Config config, std::size_t jobs) {
   apps::Case2Result r = apps::run_case2(config);
+  pipeline::AnalysisOptions options;
+  options.detector = pipeline::default_detector(jobs);
   pipeline::AnalysisReport report =
-      pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
+      pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi, options);
   table.add_row({label, util::cell(r.relay_received),
                  util::cell(r.relay_dropped_busy),
                  util::cell(report.first_bug_rank()),
@@ -38,8 +41,11 @@ void run_row(util::Table& table, const std::string& label,
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("seed", "experiment seed", "3");
+  cli.add_flag("jobs", "OCSVM kernel-build threads (0 = all cores)", "0");
   if (!cli.parse(argc, argv)) return 1;
   auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
 
   bench::section("Extension E4: case II detection under channel impairments");
   util::Table table({"channel", "arrivals", "active drops",
@@ -48,14 +54,14 @@ int main(int argc, char** argv) {
   {
     apps::Case2Config config;
     config.seed = seed;
-    run_row(table, "clean", config);
+    run_row(table, "clean", config, jobs);
   }
   for (double loss : {0.05, 0.15}) {
     apps::Case2Config config;
     config.seed = seed;
     config.loss_rate = loss;
     run_row(table, "iid loss " + std::to_string(int(loss * 100)) + "%",
-            config);
+            config, jobs);
   }
   {
     apps::Case2Config config;
@@ -66,7 +72,7 @@ int main(int argc, char** argv) {
     model.p_good_to_bad = 0.02;
     model.p_bad_to_good = 0.2;
     config.gilbert_elliott = model;
-    run_row(table, "bursty (Gilbert-Elliott)", config);
+    run_row(table, "bursty (Gilbert-Elliott)", config, jobs);
   }
 
   std::fputs(table.render().c_str(), stdout);

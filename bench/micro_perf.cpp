@@ -8,7 +8,9 @@
 #include "core/features.hpp"
 #include "ml/ocsvm.hpp"
 #include "os/node.hpp"
+#include "pipeline/campaign.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace sent;
 
@@ -117,7 +119,59 @@ void BM_OcsvmFitScore(benchmark::State& state) {
 }
 BENCHMARK(BM_OcsvmFitScore)->Arg(200)->Arg(1000);
 
+// Kernel-matrix build fanned across a pool: Arg is the thread count, so
+// comparing Arg(1) vs Arg(N) rows shows the parallel speedup directly.
+void BM_OcsvmKernelParallel(benchmark::State& state) {
+  const std::size_t n = 600;
+  util::Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(40);
+    for (double& v : row) v = rng.normal();
+    rows.push_back(std::move(row));
+  }
+  ml::OcsvmParams params;
+  params.threads = static_cast<std::size_t>(state.range(0));
+  params.max_iter = 1;  // isolate the kernel build, not the SMO loop
+  for (auto _ : state) {
+    ml::OneClassSvm svm(params);
+    svm.fit(rows);
+    benchmark::DoNotOptimize(svm.rho());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n * n) *
+                          state.iterations());
+}
+BENCHMARK(BM_OcsvmKernelParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
 // ------------------------------------------------------ whole pipeline
+
+// A small case-II campaign with Arg worker threads; Arg(1) is the serial
+// baseline for the multi-core fan-out speedup.
+void BM_CampaignParallel(benchmark::State& state) {
+  pipeline::CampaignOptions options;
+  options.first_seed = 1;
+  options.runs = 4;
+  options.k = 5;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pipeline::CampaignStats stats = pipeline::run_campaign(
+        [](std::uint64_t seed) {
+          apps::Case2Config config;
+          config.seed = seed;
+          config.run_seconds = 5.0;
+          auto r = apps::run_case2(config);
+          return pipeline::analyze({{&r.relay_trace, 0}},
+                                   os::irq::kRadioSpi);
+        },
+        options);
+    benchmark::DoNotOptimize(stats.triggered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(options.runs) *
+                          state.iterations());
+}
+BENCHMARK(BM_CampaignParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
 
 void BM_Case2EndToEnd(benchmark::State& state) {
   for (auto _ : state) {

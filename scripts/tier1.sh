@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + ctest, then the concurrency tests again
+# under ThreadSanitizer (SENT_SANITIZE=thread) so campaign fan-out and the
+# thread pool are race-checked on every run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+# ThreadSanitizer pass over the concurrency layer. Only the concurrency
+# test binaries are built in this tree; they are run directly (gtest
+# binaries are standalone) to keep the TSan pass cheap.
+cmake -B build-tsan -S . -DSENT_SANITIZE=thread
+cmake --build build-tsan -j "${JOBS}" --target thread_pool_test campaign_test
+./build-tsan/tests/thread_pool_test
+./build-tsan/tests/campaign_test
+
+echo "tier-1 OK (incl. TSan concurrency pass)"

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sent::ml {
 
@@ -40,15 +41,19 @@ void OneClassSvm::solve(const std::vector<std::vector<double>>& x) {
   const double c = 1.0 / (params_.nu * static_cast<double>(l));
 
   // Dense kernel matrix. l is at most a few thousand in our experiments,
-  // so O(l^2) memory is the simple and fast choice.
+  // so O(l^2) memory is the simple and fast choice. The build is the
+  // O(l^2 d) hot path: rows of the symmetric upper triangle fan out across
+  // the pool. Entry (a, b) and its mirror are written only by the task for
+  // row min(a, b), so no two tasks ever write the same element.
   std::vector<double> q(l * l);
-  for (std::size_t i = 0; i < l; ++i) {
+  util::ThreadPool pool(params_.threads);
+  pool.parallel_for(l, [&](std::size_t i) {
     for (std::size_t j = i; j < l; ++j) {
       double v = kernel_eval(params_.kernel, gamma_, x[i], x[j]);
       q[i * l + j] = v;
       q[j * l + i] = v;
     }
-  }
+  });
 
   // LIBSVM-style feasible start: the first floor(nu*l) points at the upper
   // bound, one fractional point, the rest at zero; sum = 1.
@@ -150,6 +155,16 @@ double OneClassSvm::decision(const std::vector<double>& x) const {
     sum += alpha_[i] * kernel_eval(params_.kernel, gamma_, train_[i], z);
   }
   return sum - rho_;
+}
+
+std::vector<double> OneClassSvm::decision_batch(
+    const std::vector<std::vector<double>>& rows) const {
+  SENT_REQUIRE_MSG(fitted(), "decision_batch() before fit()");
+  std::vector<double> out(rows.size());
+  util::ThreadPool pool(params_.threads);
+  pool.parallel_for(rows.size(),
+                    [&](std::size_t i) { out[i] = decision(rows[i]); });
+  return out;
 }
 
 std::size_t OneClassSvm::support_vector_count() const {

@@ -29,6 +29,10 @@ struct OcsvmParams {
   bool standardize = true;
   double tol = 1e-6;          ///< KKT violation tolerance
   std::size_t max_iter = 200000;
+  /// Worker threads for the kernel-matrix build and decision_batch().
+  /// <= 1 runs inline. Every kernel entry is computed independently, so
+  /// results are bit-identical for any thread count.
+  std::size_t threads = 1;
 };
 
 class OneClassSvm final : public core::OutlierDetector {
@@ -49,6 +53,12 @@ class OneClassSvm final : public core::OutlierDetector {
 
   /// Signed distance f(x) for a new point.
   double decision(const std::vector<double>& x) const;
+
+  /// decision() for a batch of points, evaluated across params.threads
+  /// workers (rows are independent). Same values as calling decision()
+  /// per row.
+  std::vector<double> decision_batch(
+      const std::vector<std::vector<double>>& rows) const;
 
   double rho() const { return rho_; }
   /// Dual variables after fit (one per training row; sums to 1).

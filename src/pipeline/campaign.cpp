@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sent::pipeline {
 
@@ -13,7 +14,7 @@ double CampaignStats::trigger_rate() const {
 }
 
 double CampaignStats::detection_rate() const {
-  if (triggered == 0) return 1.0;
+  if (triggered == 0) return 0.0;
   return static_cast<double>(detected_top_k) /
          static_cast<double>(triggered);
 }
@@ -24,24 +25,55 @@ double CampaignStats::mean_first_rank() const {
   return sum / static_cast<double>(first_ranks.size());
 }
 
+namespace {
+
+/// Everything the aggregation needs from one seeded run; keeping the full
+/// AnalysisReport per seed alive across the whole campaign would be
+/// wasteful at large run counts.
+struct RunOutcome {
+  bool triggered = false;
+  std::size_t first_rank = 0;
+};
+
+}  // namespace
+
+CampaignStats run_campaign(const ScenarioRunner& runner,
+                           const CampaignOptions& options) {
+  SENT_REQUIRE(runner != nullptr);
+  SENT_REQUIRE(options.runs >= 1);
+  SENT_REQUIRE(options.k >= 1);
+
+  // Fan the seeds out; each slot is written by exactly one invocation.
+  std::vector<RunOutcome> outcomes(options.runs);
+  util::ThreadPool pool(options.threads);
+  pool.parallel_for(options.runs, [&](std::size_t i) {
+    AnalysisReport report = runner(options.first_seed + i);
+    if (report.buggy_count() == 0) return;
+    outcomes[i] = {true, report.first_bug_rank()};
+  });
+
+  // Aggregate in seed order so parallel output is bit-identical to serial.
+  CampaignStats stats;
+  stats.runs = options.runs;
+  stats.k = options.k;
+  for (const RunOutcome& outcome : outcomes) {
+    if (!outcome.triggered) continue;
+    ++stats.triggered;
+    stats.first_ranks.push_back(outcome.first_rank);
+    if (outcome.first_rank <= options.k) ++stats.detected_top_k;
+  }
+  return stats;
+}
+
 CampaignStats run_campaign(const ScenarioRunner& runner,
                            std::uint64_t first_seed, std::size_t runs,
                            std::size_t k) {
-  SENT_REQUIRE(runner != nullptr);
-  SENT_REQUIRE(runs >= 1);
-  SENT_REQUIRE(k >= 1);
-  CampaignStats stats;
-  stats.runs = runs;
-  stats.k = k;
-  for (std::size_t i = 0; i < runs; ++i) {
-    AnalysisReport report = runner(first_seed + i);
-    if (report.buggy_count() == 0) continue;
-    ++stats.triggered;
-    std::size_t rank = report.first_bug_rank();
-    stats.first_ranks.push_back(rank);
-    if (rank <= k) ++stats.detected_top_k;
-  }
-  return stats;
+  CampaignOptions options;
+  options.first_seed = first_seed;
+  options.runs = runs;
+  options.k = k;
+  options.threads = 1;
+  return run_campaign(runner, options);
 }
 
 std::string summarize(const CampaignStats& stats) {

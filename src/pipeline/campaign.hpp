@@ -8,6 +8,12 @@
 // probabilities: how often the bug MANIFESTS (trigger rate, a property of
 // the workload) and how often Sentomist surfaces it in the top-k WHEN it
 // manifests (detection rate, the tool's quality).
+//
+// Seeded runs are fully isolated — each owns its EventQueue, Nodes and
+// Rng — so a campaign is embarrassingly parallel. CampaignOptions::threads
+// fans seeds out across a util::ThreadPool; per-seed outcomes are always
+// aggregated in seed order, so the resulting CampaignStats (including
+// first_ranks order) is bit-identical to a serial campaign.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,8 @@
 namespace sent::pipeline {
 
 /// Runs one seeded scenario end to end and returns its analysis report.
+/// Under a multi-threaded campaign the runner is invoked concurrently from
+/// pool workers, so it must not touch shared mutable state.
 using ScenarioRunner = std::function<AnalysisReport(std::uint64_t seed)>;
 
 struct CampaignStats {
@@ -27,15 +35,32 @@ struct CampaignStats {
   std::size_t triggered = 0;       ///< runs where the bug manifested
   std::size_t detected_top_k = 0;  ///< triggered runs with first rank <= k
   std::size_t k = 0;
-  std::vector<std::size_t> first_ranks;  ///< one per triggered run
+  std::vector<std::size_t> first_ranks;  ///< one per triggered run, seed order
 
   double trigger_rate() const;
-  /// Detection rate among triggered runs (1.0 when none triggered).
+  /// Detection rate among triggered runs. Convention: 0.0 when no run
+  /// triggered — a campaign that never manifests the bug has demonstrated
+  /// nothing about the detector, so it must not report a perfect score.
   double detection_rate() const;
   double mean_first_rank() const;  ///< 0 when none triggered
+
+  bool operator==(const CampaignStats&) const = default;
 };
 
-/// Run `runner` for seeds first_seed .. first_seed + runs - 1.
+struct CampaignOptions {
+  std::uint64_t first_seed = 1;
+  std::size_t runs = 20;
+  std::size_t k = 5;          ///< detection cut-off rank
+  std::size_t threads = 1;    ///< <= 1 runs seeds serially inline
+};
+
+/// Run `runner` for seeds first_seed .. first_seed + runs - 1, fanning the
+/// seeds across `threads` pool workers. Output is identical for every
+/// thread count.
+CampaignStats run_campaign(const ScenarioRunner& runner,
+                           const CampaignOptions& options);
+
+/// Serial convenience overload (threads = 1).
 CampaignStats run_campaign(const ScenarioRunner& runner,
                            std::uint64_t first_seed, std::size_t runs,
                            std::size_t k);

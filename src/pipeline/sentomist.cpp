@@ -37,6 +37,13 @@ std::shared_ptr<core::OutlierDetector> default_detector() {
   return std::make_shared<ml::OneClassSvm>();
 }
 
+std::shared_ptr<core::OutlierDetector> default_detector(
+    std::size_t threads) {
+  ml::OcsvmParams params;
+  params.threads = threads;
+  return std::make_shared<ml::OneClassSvm>(params);
+}
+
 namespace {
 
 core::FeatureMatrix featurize(const trace::NodeTrace& trace,

@@ -101,6 +101,11 @@ std::string format_ranking_table(const AnalysisReport& report,
 /// Construct the default detector (one-class SVM, RBF, nu=0.05).
 std::shared_ptr<core::OutlierDetector> default_detector();
 
+/// Default detector with its kernel-matrix build spread over `threads`
+/// pool workers (scores are identical for any thread count).
+std::shared_ptr<core::OutlierDetector> default_detector(
+    std::size_t threads);
+
 /// Bug localization (paper §VII): contrast the k most suspicious intervals
 /// against the rest and rank static instructions / code objects by how
 /// discriminative their execution counts are. The report must have been

@@ -1,11 +1,16 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace sent::util {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Campaign workers log concurrently: the threshold is atomic and emission
+// is serialized so lines from different threads never tear or interleave.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +24,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

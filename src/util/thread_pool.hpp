@@ -1,0 +1,85 @@
+// Fixed-size worker pool for embarrassingly parallel work.
+//
+// Campaigns run many independent seeded simulations and the one-class SVM
+// builds an O(l^2 d) kernel matrix; both are pure fan-out with no shared
+// mutable state, so a plain pool plus a blocking parallel_for is all the
+// concurrency machinery the codebase needs. A pool built with threads <= 1
+// spawns no workers and executes everything inline on the calling thread,
+// so single-threaded callers (and their determinism guarantees) pay nothing
+// and take no lock-ordering risk.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sent::util {
+
+class ThreadPool {
+ public:
+  /// threads <= 1 means inline mode: no workers, submit/parallel_for run
+  /// on the calling thread.
+  explicit ThreadPool(std::size_t threads = hardware_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count; 0 in inline mode.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue `fn` and get a future for its result. Exceptions thrown by
+  /// `fn` are captured in the future (also in inline mode).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Run fn(0) .. fn(n-1), blocking until all complete. Indices are
+  /// distributed round-robin across workers so triangular workloads (row i
+  /// costs ~n-i) stay balanced. If any invocation throws, the first
+  /// exception (by worker stripe) is rethrown after all work finishes.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// parallel_for over a container: fn(items[i]) for every element.
+  template <typename Container, typename F>
+  void parallel_for_each(Container& items, F&& fn) {
+    parallel_for(items.size(),
+                 [&](std::size_t i) { fn(items[i]); });
+  }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace sent::util

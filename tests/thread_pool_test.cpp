@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sent::util {
+namespace {
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, InlineModeSpawnsNoWorkers) {
+  ThreadPool zero(0);
+  ThreadPool one(1);
+  EXPECT_EQ(zero.size(), 0u);
+  EXPECT_EQ(one.size(), 0u);
+}
+
+TEST(ThreadPool, InlineSubmitRunsOnCallingThread) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(f.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1},
+                              std::size_t{3}, std::size_t{4}}) {
+    const std::size_t n = 1000;
+    ThreadPool pool(threads);
+    std::vector<int> hits(n, 0);  // distinct slots: no synchronization
+    pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(n));
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<int> hits(3, 0);
+  pool.parallel_for(3, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(pool.parallel_for(100,
+                                   [&](std::size_t i) {
+                                     if (i == 37)
+                                       throw std::runtime_error("boom");
+                                     ++completed;
+                                   }),
+                 std::runtime_error);
+    EXPECT_LE(completed.load(), 99);
+  }
+}
+
+TEST(ThreadPool, ParallelForEach) {
+  ThreadPool pool(4);
+  std::vector<int> values(64);
+  std::iota(values.begin(), values.end(), 0);
+  pool.parallel_for_each(values, [](int& v) { v *= 2; });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(values[i], 2 * i);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmits) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 256; ++i)
+    futures.push_back(pool.submit([&sum, i] { sum += i; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 255 * 256 / 2);
+}
+
+}  // namespace
+}  // namespace sent::util
