@@ -1,0 +1,210 @@
+// Extension E3 — chaos campaign: drive case II through the deterministic
+// fault-injection harness (DESIGN.md §9) across a fault-intensity grid and
+// measure how gracefully the whole toolchain degrades.
+//
+// Each seeded run exercises the full ladder: faults perturb the simulated
+// hardware and OS while the run records; the recorded trace then makes a
+// save -> perturb -> lenient-load round-trip (truncation/corruption salvage)
+// before analysis, whose detector may fall back to k-NN on a TrainingError.
+// A run that still dies (e.g. the salvaged trace has no intervals) is
+// isolated by the campaign as Failed; a livelocked run hits the watchdog
+// budget and is TimedOut. The process itself must never abort.
+//
+// Self-checks, per intensity:
+//   * serial vs --jobs campaigns must produce bit-identical CampaignStats
+//     (fault schedules are drawn from per-run substreams, so thread count
+//     cannot move them);
+//   * the clean row (intensity 0) must match a baseline campaign with no
+//     fault machinery wired at all — zero-fault plans consume no
+//     randomness and salvage-load an unperturbed trace exactly.
+//
+// Detection-rate / first-rank degradation curves land in BENCH_chaos.json.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.hpp"
+#include "bench_util.hpp"
+#include "fault/injector.hpp"
+#include "pipeline/campaign.hpp"
+#include "trace/serialize.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace sent;
+
+namespace {
+
+/// One seeded case-II run through the full fault ladder.
+pipeline::AnalysisReport run_chaos(std::uint64_t seed, double intensity,
+                                   std::uint64_t event_budget) {
+  apps::Case2Config config;
+  config.seed = seed;
+  config.faults = fault::FaultPlan::at_intensity(intensity);
+  config.event_budget = event_budget;
+  apps::Case2Result r = apps::run_case2(config);
+
+  // Trace I/O layer: save / perturb / salvage round-trip. The perturbation
+  // randomness comes from the run seed, not the campaign, so it is as
+  // reproducible as the run itself.
+  std::ostringstream saved;
+  trace::save_trace(r.relay_trace, saved);
+  util::Rng trace_rng = util::Rng(seed).substream("trace-faults");
+  std::string text = fault::FaultInjector::perturb_trace_text(
+      saved.str(), config.faults, trace_rng);
+  std::istringstream in(text);
+  trace::LenientLoadResult loaded = trace::load_trace_lenient(in);
+
+  return pipeline::analyze({{&loaded.trace, 0}}, os::irq::kRadioSpi);
+}
+
+struct GridRow {
+  double intensity = 0.0;
+  pipeline::CampaignStats stats;
+  bool deterministic = false;  ///< serial == parallel
+};
+
+bool write_json(const std::string& path, std::size_t jobs,
+                std::uint64_t event_budget, bool clean_matches_baseline,
+                const std::vector<GridRow>& rows) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << "{\n  \"jobs\": " << jobs
+     << ",\n  \"event_budget\": " << event_budget
+     << ",\n  \"clean_matches_baseline\": "
+     << (clean_matches_baseline ? "true" : "false")
+     << ",\n  \"curve\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GridRow& row = rows[i];
+    const pipeline::CampaignStats& s = row.stats;
+    os << "    {\"intensity\": " << row.intensity
+       << ", \"runs\": " << s.runs << ", \"triggered\": " << s.triggered
+       << ", \"detected_top_k\": " << s.detected_top_k
+       << ", \"detection_rate\": " << s.detection_rate()
+       << ", \"mean_first_rank\": " << s.mean_first_rank()
+       << ", \"failed\": " << s.failed << ", \"timed_out\": " << s.timed_out
+       << ", \"degraded\": " << s.degraded << ", \"retried\": " << s.retried
+       << ", \"deterministic\": " << (row.deterministic ? "true" : "false")
+       << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.add_flag("runs", "seeds per intensity", "12");
+  cli.add_flag("top-k", "detection cut-off", "5");
+  cli.add_flag("first-seed", "first seed", "1");
+  cli.add_flag("jobs", "campaign worker threads (0 = all hardware cores)",
+               "0");
+  cli.add_flag("cycle-budget",
+               "watchdog event budget per run, 0 = unlimited",
+               "50000000");
+  cli.add_flag("faults",
+               "extra fault intensity appended to the grid (0 = none)", "0");
+  cli.add_switch("retry", "retry Failed/TimedOut runs once (offset seed)");
+  cli.add_flag("json", "curve output file", "BENCH_chaos.json");
+  if (!cli.parse(argc, argv)) return 1;
+
+  pipeline::CampaignOptions options;
+  options.runs = static_cast<std::size_t>(cli.get_int("runs"));
+  options.k = static_cast<std::size_t>(cli.get_int("top-k"));
+  options.first_seed = static_cast<std::uint64_t>(cli.get_int("first-seed"));
+  options.retry_failed = cli.get_switch("retry");
+  const auto event_budget =
+      static_cast<std::uint64_t>(cli.get_int("cycle-budget"));
+  std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
+
+  bench::section("Extension E3: chaos campaign (fault-intensity grid)");
+  std::printf("case II relay, %zu seeds per intensity, top-%zu, "
+              "--jobs %zu, event budget %llu\n\n",
+              options.runs, options.k, jobs,
+              static_cast<unsigned long long>(event_budget));
+
+  // Baseline: the unmodified scenario, no fault machinery wired at all.
+  // The intensity-0 chaos row must reproduce it exactly (same rankings as
+  // the seed Fig. 5 campaigns).
+  pipeline::CampaignStats baseline;
+  {
+    pipeline::CampaignOptions opts = options;
+    opts.threads = jobs;
+    baseline = pipeline::run_campaign(
+        [](std::uint64_t seed) {
+          apps::Case2Config config;
+          config.seed = seed;
+          apps::Case2Result r = apps::run_case2(config);
+          return pipeline::analyze({{&r.relay_trace, 0}},
+                                   os::irq::kRadioSpi);
+        },
+        opts);
+    std::printf("baseline (no fault harness):  %s\n",
+                pipeline::summarize(baseline).c_str());
+  }
+
+  // 4.0 is deliberately past the salvageable regime: some seeds land in
+  // Failed/TimedOut there, exercising the isolation paths on every run.
+  std::vector<double> grid = {0.0, 0.25, 0.5, 1.0, 4.0};
+  if (double extra = cli.get_double("faults"); extra > 0.0)
+    grid.push_back(extra);
+  std::vector<GridRow> rows;
+  bool all_deterministic = true;
+  bool clean_matches_baseline = false;
+
+  for (double intensity : grid) {
+    auto runner = [intensity, event_budget](std::uint64_t seed) {
+      return run_chaos(seed, intensity, event_budget);
+    };
+
+    pipeline::CampaignOptions serial_opts = options;
+    serial_opts.threads = 1;
+    pipeline::CampaignStats serial =
+        pipeline::run_campaign(runner, serial_opts);
+
+    pipeline::CampaignOptions parallel_opts = options;
+    parallel_opts.threads = jobs;
+    pipeline::CampaignStats parallel =
+        pipeline::run_campaign(runner, parallel_opts);
+
+    GridRow row;
+    row.intensity = intensity;
+    row.stats = serial;
+    row.deterministic = serial == parallel;
+    all_deterministic = all_deterministic && row.deterministic;
+    if (intensity == 0.0) clean_matches_baseline = serial == baseline;
+
+    std::printf("intensity %-4g                %s%s\n", intensity,
+                pipeline::summarize(serial).c_str(),
+                row.deterministic ? "" : "  !! NONDETERMINISTIC");
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("\nclean row reproduces baseline: %s\n",
+              clean_matches_baseline ? "yes" : "NO");
+  std::printf("serial == --jobs %zu at every intensity: %s\n", jobs,
+              all_deterministic ? "yes" : "NO");
+
+  // The curves the bench exists for: detection should degrade smoothly
+  // with intensity while failed/timed_out absorb the runs that cannot be
+  // analyzed, rather than the process dying.
+  std::printf("\n%-10s %-10s %-15s %-8s %-9s %-9s\n", "intensity",
+              "detect", "mean-1st-rank", "failed", "timed-out", "degraded");
+  for (const GridRow& row : rows)
+    std::printf("%-10g %-10.2f %-15.2f %-8zu %-9zu %-9zu\n", row.intensity,
+                row.stats.detection_rate(), row.stats.mean_first_rank(),
+                row.stats.failed, row.stats.timed_out, row.stats.degraded);
+
+  if (write_json(cli.get("json"), jobs, event_budget, clean_matches_baseline,
+                 rows))
+    std::printf("\ncurves written to %s\n", cli.get("json").c_str());
+
+  return (all_deterministic && clean_matches_baseline) ? 0 : 1;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + ctest, then the concurrency tests again
-# under ThreadSanitizer (SENT_SANITIZE=thread) so campaign fan-out and the
-# thread pool are race-checked on every run.
+# under ThreadSanitizer (SENT_SANITIZE=thread), an ASan+UBSan pass over the
+# failure-surface tests, and a chaos smoke run so the injected-fault paths
+# are exercised on every verify.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,4 +20,21 @@ cmake --build build-tsan -j "${JOBS}" --target thread_pool_test campaign_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/campaign_test
 
-echo "tier-1 OK (incl. TSan concurrency pass)"
+# ASan+UBSan pass over the failure surface: fault injection, lenient trace
+# salvage, and campaign isolation push on exactly the code where memory and
+# UB bugs would hide (salvaged prefixes, perturbed byte streams, exceptions
+# unwinding across pool workers).
+cmake -B build-asan -S . -DSENT_SANITIZE=address,undefined
+cmake --build build-asan -j "${JOBS}" \
+  --target fault_test serialize_test campaign_test cli_test
+./build-asan/tests/fault_test
+./build-asan/tests/serialize_test
+./build-asan/tests/campaign_test
+./build-asan/tests/cli_test
+
+# Chaos smoke: a small fault-intensity grid end to end. Exits nonzero on
+# any process abort, nondeterminism across thread counts, or a clean row
+# that fails to reproduce the no-harness baseline.
+./build/bench/ext_chaos --runs 4 --jobs 2 --json build/BENCH_chaos_smoke.json
+
+echo "tier-1 OK (incl. TSan concurrency + ASan/UBSan fault-surface + chaos smoke)"

@@ -3,12 +3,40 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <optional>
 
 #include "apps/sink.hpp"
+#include "fault/injector.hpp"
 #include "net/topology.hpp"
 #include "util/assert.hpp"
 
 namespace sent::apps {
+
+namespace {
+
+/// Build the run's injector when the plan has runtime faults; a clean plan
+/// yields nullopt and the run proceeds exactly as before fault injection
+/// existed (no substream derived, nothing scheduled).
+std::optional<fault::FaultInjector> make_injector(sim::EventQueue& queue,
+                                                  const fault::FaultPlan& plan,
+                                                  const util::Rng& run_rng,
+                                                  double run_seconds) {
+  if (!plan.any_runtime()) return std::nullopt;
+  return std::optional<fault::FaultInjector>(
+      std::in_place, queue, plan, run_rng.substream("faults"),
+      sim::cycles_from_seconds(run_seconds));
+}
+
+/// Attach the per-node fault surfaces (radio, clock, interrupts).
+void attach_node_faults(std::optional<fault::FaultInjector>& injector,
+                        os::Node& node, hw::RadioChip& chip) {
+  if (!injector) return;
+  injector->attach_radio(chip);
+  injector->attach_clock(node.id(), node.timers());
+  injector->attach_interrupts(node.id(), node.machine(), node.timers());
+}
+
+}  // namespace
 
 // ------------------------------------------------------------- case I
 
@@ -29,7 +57,10 @@ Case1Result run_case1(const Case1Config& config) {
     util::Rng run_rng = master.substream("case1-run" + std::to_string(r));
 
     sim::EventQueue queue;
+    if (config.event_budget) queue.set_watchdog_budget(config.event_budget);
     net::Channel channel(queue, run_rng.substream("channel"));
+    auto injector =
+        make_injector(queue, config.faults, run_rng, config.run_seconds);
 
     os::Node sink_node(0, queue);
     hw::RadioChip sink_chip(queue, sink_node.machine(), channel, 0,
@@ -43,8 +74,11 @@ Case1Result run_case1(const Case1Config& config) {
     sensor_chip.set_signal_txdone(false);  // Oscilloscope is fire-and-forget
     hw::AdcDevice adc(queue, sensor_node.machine(),
                       run_rng.substream("adc"));
-    adc.set_sensor(hw::make_temperature_sensor(
-        run_rng.substream("sensor-signal")));
+    hw::SensorFn signal =
+        hw::make_temperature_sensor(run_rng.substream("sensor-signal"));
+    if (injector)
+      signal = injector->wrap_sensor(std::move(signal), "adc-1");
+    adc.set_sensor(std::move(signal));
 
     OscilloscopeConfig osc = config.osc;
     osc.sink = 0;
@@ -53,6 +87,8 @@ Case1Result run_case1(const Case1Config& config) {
     OscilloscopeApp app(sensor_node, adc, sensor_chip, osc,
                         run_rng.substream("osc-app"));
     app.start();
+    attach_node_faults(injector, sink_node, sink_chip);
+    attach_node_faults(injector, sensor_node, sensor_chip);
 
     queue.run_until(sim::cycles_from_seconds(config.run_seconds));
 
@@ -77,7 +113,10 @@ Case2Result run_case2(const Case2Config& config) {
   util::Rng rng = master.substream("case2");
 
   sim::EventQueue queue;
+  if (config.event_budget) queue.set_watchdog_budget(config.event_budget);
   net::Channel channel(queue, rng.substream("channel"));
+  auto injector =
+      make_injector(queue, config.faults, rng, config.run_seconds);
   if (config.gilbert_elliott) {
     channel.set_gilbert_elliott(*config.gilbert_elliott);
   } else if (config.loss_rate > 0.0) {
@@ -114,6 +153,9 @@ Case2Result run_case2(const Case2Config& config) {
 
   net::make_chain(channel, {0, 1, 2});
   source.start();
+  attach_node_faults(injector, sink_node, sink_chip);
+  attach_node_faults(injector, relay_node, relay_chip);
+  attach_node_faults(injector, source_node, source_chip);
   queue.run_until(sim::cycles_from_seconds(config.run_seconds));
 
   Case2Result result;
@@ -144,7 +186,10 @@ Case3Result run_case3(const Case3Config& config) {
   util::Rng rng = master.substream("case3");
 
   sim::EventQueue queue;
+  if (config.event_budget) queue.set_watchdog_budget(config.event_budget);
   net::Channel channel(queue, rng.substream("channel"));
+  auto injector =
+      make_injector(queue, config.faults, rng, config.run_seconds);
 
   // "We randomly select sensor nodes as sources" — any node except the
   // root (node 0).
@@ -179,6 +224,8 @@ Case3Result run_case3(const Case3Config& config) {
   }
   net::make_grid(channel, config.rows, config.cols);
   for (auto& app : ctp_apps) app->start();
+  for (std::size_t i = 0; i < n; ++i)
+    attach_node_faults(injector, *nodes[i], *chips[i]);
 
   queue.run_until(sim::cycles_from_seconds(config.run_seconds));
 
@@ -223,7 +270,10 @@ Case4Result run_case4(const Case4Config& config) {
   util::Rng rng = master.substream("case4");
 
   sim::EventQueue queue;
+  if (config.event_budget) queue.set_watchdog_budget(config.event_budget);
   net::Channel channel(queue, rng.substream("channel"));
+  auto injector =
+      make_injector(queue, config.faults, rng, config.run_seconds);
 
   std::vector<std::unique_ptr<os::Node>> nodes;
   std::vector<std::unique_ptr<hw::RadioChip>> chips;
@@ -243,6 +293,8 @@ Case4Result run_case4(const Case4Config& config) {
   }
   net::make_grid(channel, config.rows, config.cols);
   for (auto& app : diss_apps) app->start();
+  for (std::size_t i = 0; i < n; ++i)
+    attach_node_faults(injector, *nodes[i], *chips[i]);
 
   // Environment: the publisher stages a new value at random times; track
   // the authoritative version -> value map for ground truth.

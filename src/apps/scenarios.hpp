@@ -15,10 +15,22 @@
 #include "apps/dissemination.hpp"
 #include "apps/forwarding.hpp"
 #include "apps/oscilloscope.hpp"
+#include "fault/plan.hpp"
 #include "hw/radio_params.hpp"
 #include "trace/recorder.hpp"
 
 namespace sent::apps {
+
+// Every case config carries the same two robustness knobs (DESIGN.md §9):
+//
+//   faults       — fault-injection plan realized against the run's world
+//                  from the run seed's "faults" substream. The default
+//                  (all-zero) plan attaches nothing and consumes no
+//                  randomness, so clean runs are bit-identical to builds
+//                  that predate fault injection.
+//   event_budget — watchdog: maximum simulation events for the run, 0 =
+//                  unlimited. A run that exceeds it throws
+//                  sim::WatchdogTimeout (campaigns classify it TimedOut).
 
 // ------------------------------------------------------------- case I
 
@@ -28,6 +40,8 @@ struct Case1Config {
   std::vector<double> sample_periods_ms = {20, 40, 60, 80, 100};
   double run_seconds = 10.0;
   bool fixed = false;
+  fault::FaultPlan faults;
+  std::uint64_t event_budget = 0;
   OscilloscopeConfig osc;  ///< base config; sample_period set per run
   hw::RadioParams radio = [] {
     hw::RadioParams p;
@@ -60,6 +74,8 @@ struct Case2Config {
   double run_seconds = 20.0;
   double mean_interval_ms = 100.0;
   bool fixed = false;
+  fault::FaultPlan faults;
+  std::uint64_t event_budget = 0;
 
   /// Channel impairments (default: clean). Gilbert-Elliott, when set,
   /// overrides the iid loss rate.
@@ -107,6 +123,8 @@ struct Case3Config {
   std::size_t rows = 3, cols = 3;  ///< 9 nodes, root = node 0
   std::size_t num_sources = 4;
   bool fixed = false;
+  fault::FaultPlan faults;
+  std::uint64_t event_budget = 0;
   CtpHeartbeatConfig app;  ///< base; role flags set per node
   hw::RadioParams radio = [] {
     hw::RadioParams p;
@@ -144,6 +162,8 @@ struct Case4Config {
   std::size_t rows = 3, cols = 3;  ///< node 0 publishes
   double mean_update_interval_s = 3.0;
   bool fixed = false;
+  fault::FaultPlan faults;
+  std::uint64_t event_budget = 0;
   DisseminationConfig app = [] {
     DisseminationConfig c;
     c.flash_commit_iterations = 12;  // ~2.5 ms tear window

@@ -1,0 +1,95 @@
+// Deterministic fault-injection plans (DESIGN.md §9).
+//
+// A FaultPlan is a pure description of how hard to shake the system: rates
+// and magnitudes for perturbations at three layers —
+//
+//   hardware  — radio stuck-busy / mute windows, sensor stuck-at readings
+//               and spikes, per-node clock (crystal) drift;
+//   OS / sim  — spurious interrupts delivered between instructions and
+//               dropped interrupt raises (lost wakeups);
+//   trace I/O — record truncation / corruption on save/load round-trips.
+//
+// The plan holds no randomness. A FaultInjector realizes a plan against one
+// run's world using a substream of that run's util::Rng, so for a fixed
+// (plan, seed) every fault lands at the same virtual cycle no matter how
+// many campaign worker threads are running — chaos campaigns stay
+// bit-identical across --jobs (ZOFI-style injection into running programs,
+// made reproducible).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace sent::fault {
+
+struct FaultPlan {
+  // ---- hardware: radio ---------------------------------------------------
+  /// Mean stuck-busy windows per simulated second per radio (Poisson). A
+  /// window freezes the chip's busy flag high while the transceiver is
+  /// idle, so application sends fail with SendResult::Busy — exactly the
+  /// §VI-C failure the busy-flag bugs race against.
+  double radio_stuck_busy_per_s = 0.0;
+  double radio_stuck_busy_ms = 5.0;  ///< window duration
+
+  /// Mean receiver-mute windows per simulated second per radio (Poisson).
+  /// Frames arriving inside a window are dropped before the chip sees
+  /// them, like a desensitized front end.
+  double radio_mute_per_s = 0.0;
+  double radio_mute_ms = 10.0;
+
+  // ---- hardware: sensor --------------------------------------------------
+  /// Mean stuck-at windows per simulated second per sensor (Poisson): the
+  /// reading freezes at the value sampled on window entry.
+  double sensor_stuck_per_s = 0.0;
+  double sensor_stuck_ms = 50.0;
+
+  /// Per-conversion probability of an additive glitch spike.
+  double sensor_spike_prob = 0.0;
+  double sensor_spike_counts = 200.0;  ///< added ADC counts (clamped to 1023)
+
+  // ---- hardware: clock ---------------------------------------------------
+  /// Per-node crystal drift: each attached node draws a drift uniformly in
+  /// [-clock_drift_ppm, +clock_drift_ppm] and applies it to its timers.
+  double clock_drift_ppm = 0.0;
+
+  // ---- OS / sim ----------------------------------------------------------
+  /// Mean spurious interrupts per simulated second per node (Poisson). A
+  /// spurious raise targets a uniformly chosen bound line; delivery goes
+  /// through the normal machine step so concurrency rules 1–3 hold.
+  double spurious_irq_per_s = 0.0;
+
+  /// Probability that any single raise_irq is silently dropped (a lost
+  /// wakeup — the fault class that wedges LPL/CTP state machines).
+  double drop_irq_prob = 0.0;
+
+  // ---- trace I/O ---------------------------------------------------------
+  /// Probability that a serialized trace is truncated at a random point on
+  /// its save/load round-trip.
+  double trace_truncate_prob = 0.0;
+
+  /// Probability that one random line of a serialized trace is corrupted
+  /// (a byte rewritten).
+  double trace_corrupt_prob = 0.0;
+
+  /// True when any hardware- or OS-layer knob is nonzero (trace faults are
+  /// applied separately on round-trips and do not require an injector).
+  bool any_runtime() const {
+    return radio_stuck_busy_per_s > 0.0 || radio_mute_per_s > 0.0 ||
+           sensor_stuck_per_s > 0.0 || sensor_spike_prob > 0.0 ||
+           clock_drift_ppm > 0.0 || spurious_irq_per_s > 0.0 ||
+           drop_irq_prob > 0.0;
+  }
+
+  bool any_trace() const {
+    return trace_truncate_prob > 0.0 || trace_corrupt_prob > 0.0;
+  }
+
+  bool any() const { return any_runtime() || any_trace(); }
+
+  /// Canonical chaos grid point: every rate/probability scales linearly
+  /// with `intensity` (0 = clean, 1 = the bench's full storm); magnitudes
+  /// (window lengths, spike size) stay fixed so intensity sweeps frequency,
+  /// not fault shape.
+  static FaultPlan at_intensity(double intensity);
+};
+
+}  // namespace sent::fault

@@ -67,6 +67,25 @@ RadioChip::Event RadioChip::take_event() {
   return e;
 }
 
+void RadioChip::inject_stuck_busy(sim::Cycle duration) {
+  if (busy_ || state_ != TxState::Idle) return;  // honestly busy already
+  busy_ = true;
+  fault_busy_ = true;
+  ++fault_busy_windows_;
+  queue_.schedule_after(duration, [this] {
+    // Only clear what the fault set; a send() cannot have started while
+    // the flag was held, so no real exchange can own busy_ here.
+    if (fault_busy_) {
+      fault_busy_ = false;
+      busy_ = false;
+    }
+  });
+}
+
+void RadioChip::inject_mute(sim::Cycle duration) {
+  deaf_until_ = std::max(deaf_until_, queue_.now() + duration);
+}
+
 void RadioChip::arm_timer(sim::Cycle delay, void (RadioChip::*fn)()) {
   SENT_ASSERT(pending_timer_ == 0);
   pending_timer_ = queue_.schedule_after(delay, [this, fn] {
@@ -268,6 +287,10 @@ void RadioChip::push_event(Event event) {
 }
 
 void RadioChip::on_frame(const net::Packet& frame) {
+  if (queue_.now() < deaf_until_) {
+    ++missed_muted_;  // injected mute window: front end never sees it
+    return;
+  }
   switch (frame.type) {
     case net::FrameType::Rts: {
       if (frame.dst != node_id_) return;  // overheard, address filter

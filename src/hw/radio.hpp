@@ -80,6 +80,22 @@ class RadioChip final : public net::RadioListener {
 
   std::uint64_t frames_missed_asleep() const { return missed_asleep_; }
 
+  // ---- fault-injection hooks (src/fault) --------------------------------
+
+  /// Freeze the busy flag high for `duration` while the transceiver is
+  /// idle: application sends fail with SendResult::Busy until the window
+  /// ends. Ignored (no effect) when a real exchange is in progress —
+  /// the flag is then already honestly busy.
+  void inject_stuck_busy(sim::Cycle duration);
+
+  /// Deafen the receiver until now + `duration`: frames on the air are
+  /// dropped before the chip reacts to them (no CTS/ACK responses, no RX
+  /// events). Overlapping windows extend the deadline.
+  void inject_mute(sim::Cycle duration);
+
+  std::uint64_t fault_busy_windows() const { return fault_busy_windows_; }
+  std::uint64_t frames_missed_muted() const { return missed_muted_; }
+
   struct Event {
     enum class Kind : std::uint8_t { RxDone, TxDone };
     Kind kind;
@@ -130,6 +146,12 @@ class RadioChip final : public net::RadioListener {
   bool busy_ = false;
   bool signal_txdone_ = true;
   TxState state_ = TxState::Idle;
+  // Fault-injection state: busy flag held high by an injected window (not
+  // by a real exchange), and the receiver-mute deadline.
+  bool fault_busy_ = false;
+  sim::Cycle deaf_until_ = 0;
+  std::uint64_t fault_busy_windows_ = 0;
+  std::uint64_t missed_muted_ = 0;
   /// Half-duplex antenna: no two own transmissions may overlap. Control
   /// responses (CTS/ACK) and state-machine frames all serialize on this.
   sim::Cycle antenna_free_at_ = 0;

@@ -26,6 +26,10 @@ void Machine::raise_irq(trace::IrqLine line) {
   SENT_REQUIRE(line < 64);
   SENT_REQUIRE_MSG(handlers_[line] != kNoHandler,
                    "IRQ raised on unbound line " << int(line));
+  if (irq_drop_hook_ && irq_drop_hook_(line)) {
+    ++irqs_dropped_;
+    return;
+  }
   pending_ |= (1ULL << line);
   // If this raise happens from inside an executing instruction, the current
   // step schedules its own continuation and will see the pending bit there.
@@ -47,6 +51,15 @@ void Machine::enable_interrupts() {
   // steps (enable from outside an instruction is unusual but legal).
   if (atomic_depth_ == 0 && pending_ != 0 && !step_scheduled_ && !in_step_)
     schedule_step(costs_.wakeup);
+}
+
+std::vector<trace::IrqLine> Machine::bound_lines() const {
+  std::vector<trace::IrqLine> lines;
+  for (std::size_t line = 0; line < handlers_.size(); ++line) {
+    if (handlers_[line] != kNoHandler)
+      lines.push_back(static_cast<trace::IrqLine>(line));
+  }
+  return lines;
 }
 
 bool Machine::sleeping() const {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mcu/program.hpp"
@@ -94,6 +95,21 @@ class Machine {
   /// Number of interrupt deliveries so far (tests/benches).
   std::uint64_t interrupts_delivered() const { return ints_delivered_; }
 
+  /// Lines that currently have a handler bound, ascending (fault
+  /// injection: the legal targets for a spurious raise under Rule 1).
+  std::vector<trace::IrqLine> bound_lines() const;
+  bool handler_bound(trace::IrqLine line) const {
+    return line < handlers_.size() && handlers_[line] != kNoHandler;
+  }
+
+  /// Fault-injection hook: when set, every raise_irq consults the filter
+  /// and a `true` return silently drops the raise (a lost wakeup). The
+  /// latch is never set, so an absorbed re-raise cannot resurrect it.
+  void set_irq_drop_hook(std::function<bool(trace::IrqLine)> hook) {
+    irq_drop_hook_ = std::move(hook);
+  }
+  std::uint64_t irqs_dropped() const { return irqs_dropped_; }
+
  private:
   struct Frame {
     CodeId code;
@@ -117,6 +133,8 @@ class Machine {
   bool in_step_ = false;  // step() will schedule its own continuation
   std::uint32_t atomic_depth_ = 0;
   std::uint64_t ints_delivered_ = 0;
+  std::function<bool(trace::IrqLine)> irq_drop_hook_;
+  std::uint64_t irqs_dropped_ = 0;
 
   static constexpr CodeId kNoHandler = ~CodeId{0};
 

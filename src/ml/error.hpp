@@ -1,0 +1,22 @@
+// Typed training failures (DESIGN.md §9).
+//
+// The solvers used to abort the process on numerically impossible states
+// (assert-style). Under fault injection a corrupted or salvaged trace can
+// legitimately feed the ML stage degenerate feature matrices, so those
+// states are now reported as TrainingError and callers degrade gracefully:
+// the analysis pipeline falls back to the k-nearest-neighbour distance
+// detector and flags the report as degraded instead of dying.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sent::ml {
+
+class TrainingError : public std::runtime_error {
+ public:
+  explicit TrainingError(const std::string& what)
+      : std::runtime_error("training error: " + what) {}
+};
+
+}  // namespace sent::ml

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "ml/error.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -26,6 +27,10 @@ std::string OneClassSvm::name() const {
 
 void OneClassSvm::fit(const std::vector<std::vector<double>>& rows) {
   std::size_t d = check_rectangular(rows);
+  for (const auto& row : rows)
+    for (double v : row)
+      if (!std::isfinite(v))
+        throw TrainingError("non-finite value in feature matrix");
   if (params_.standardize) {
     scaler_.fit(rows);
     train_ = scaler_.transform(rows);
@@ -63,7 +68,11 @@ void OneClassSvm::solve(const std::vector<std::vector<double>>& x) {
     alpha_[i] = std::min(c, remaining);
     remaining -= alpha_[i];
   }
-  SENT_ASSERT_MSG(remaining <= 1e-9, "infeasible initialization");
+  if (remaining > 1e-9)
+    throw TrainingError(
+        "infeasible initialization: sum of box constraints l/(nu*l) cannot "
+        "reach 1 (l=" +
+        std::to_string(l) + ", nu=" + std::to_string(params_.nu) + ")");
 
   // Gradient G = Q alpha.
   std::vector<double> g(l, 0.0);
@@ -101,7 +110,11 @@ void OneClassSvm::solve(const std::vector<std::vector<double>>& x) {
     double step = (g_low - g_up) / std::max(denom, kTau);
     step = std::min(step, c - alpha_[up]);
     step = std::min(step, alpha_[low]);
-    SENT_ASSERT(step > 0.0);
+    if (!(step > 0.0))
+      throw TrainingError(
+          "pair update stalled (step " + std::to_string(step) +
+          " at iteration " + std::to_string(iterations_) +
+          "): violating pair selected but no feasible progress");
     alpha_[up] += step;
     alpha_[low] -= step;
 

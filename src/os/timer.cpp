@@ -72,6 +72,18 @@ bool TimerService::running(trace::IrqLine line) const {
   return slot(line).active;
 }
 
+bool TimerService::owns(trace::IrqLine line) const {
+  return line >= irq::kTimerBase &&
+         line < irq::kTimerBase + slots_.size();
+}
+
+void TimerService::fire_early(trace::IrqLine line) {
+  Slot& s = slot(line);
+  if (!s.active) return;
+  queue_.cancel(s.pending);
+  fire(line);
+}
+
 const std::string& TimerService::name(trace::IrqLine line) const {
   return slot(line).name;
 }

@@ -46,6 +46,16 @@ class TimerService {
   bool running(trace::IrqLine line) const;
   const std::string& name(trace::IrqLine line) const;
 
+  /// Whether `line` was allocated by this service's create().
+  bool owns(trace::IrqLine line) const;
+
+  /// Force a running timer to fire now — a spurious early compare match
+  /// (fault injection). The pending fire is cancelled first, so slot
+  /// bookkeeping stays consistent: periodic timers reschedule from now,
+  /// one-shots disarm as usual. No-op if the timer is not running (real
+  /// timer hardware filters a glitch on a disarmed channel).
+  void fire_early(trace::IrqLine line);
+
  private:
   struct Slot {
     std::string name;

@@ -2,7 +2,9 @@
 
 #include <numeric>
 #include <sstream>
+#include <utility>
 
+#include "sim/event_queue.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,9 +33,35 @@ namespace {
 /// AnalysisReport per seed alive across the whole campaign would be
 /// wasteful at large run counts.
 struct RunOutcome {
+  RunStatus status = RunStatus::Completed;
   bool triggered = false;
+  bool degraded = false;
+  bool retried = false;
   std::size_t first_rank = 0;
+  std::string message;  ///< Failed / TimedOut only
 };
+
+/// One runner invocation with per-run fault isolation: any exception is
+/// captured into the outcome instead of escaping into the pool worker, so
+/// a bad seed can never tear down its siblings.
+RunOutcome attempt(const ScenarioRunner& runner, std::uint64_t seed) {
+  RunOutcome out;
+  try {
+    AnalysisReport report = runner(seed);
+    out.degraded = report.degraded;
+    if (report.buggy_count() > 0) {
+      out.triggered = true;
+      out.first_rank = report.first_bug_rank();
+    }
+  } catch (const sim::WatchdogTimeout& e) {
+    out.status = RunStatus::TimedOut;
+    out.message = e.what();
+  } catch (const std::exception& e) {
+    out.status = RunStatus::Failed;
+    out.message = e.what();
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -47,16 +75,30 @@ CampaignStats run_campaign(const ScenarioRunner& runner,
   std::vector<RunOutcome> outcomes(options.runs);
   util::ThreadPool pool(options.threads);
   pool.parallel_for(options.runs, [&](std::size_t i) {
-    AnalysisReport report = runner(options.first_seed + i);
-    if (report.buggy_count() == 0) return;
-    outcomes[i] = {true, report.first_bug_rank()};
+    const std::uint64_t seed = options.first_seed + i;
+    RunOutcome out = attempt(runner, seed);
+    if (out.status != RunStatus::Completed && options.retry_failed) {
+      out = attempt(runner, seed + options.retry_seed_offset);
+      out.retried = true;
+    }
+    outcomes[i] = std::move(out);
   });
 
   // Aggregate in seed order so parallel output is bit-identical to serial.
   CampaignStats stats;
   stats.runs = options.runs;
   stats.k = options.k;
-  for (const RunOutcome& outcome : outcomes) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const RunOutcome& outcome = outcomes[i];
+    stats.retried += outcome.retried;
+    if (outcome.status != RunStatus::Completed) {
+      if (outcome.status == RunStatus::Failed) ++stats.failed;
+      else ++stats.timed_out;
+      stats.failures.push_back(RunFailure{options.first_seed + i,
+                                          outcome.status, outcome.message});
+      continue;
+    }
+    stats.degraded += outcome.degraded;
     if (!outcome.triggered) continue;
     ++stats.triggered;
     stats.first_ranks.push_back(outcome.first_rank);
@@ -84,6 +126,10 @@ std::string summarize(const CampaignStats& stats) {
      << stats.detected_top_k << "/" << stats.triggered;
   if (stats.triggered > 0)
     os << " (mean first rank " << stats.mean_first_rank() << ")";
+  if (stats.failed > 0) os << "; failed " << stats.failed;
+  if (stats.timed_out > 0) os << "; timed out " << stats.timed_out;
+  if (stats.degraded > 0) os << "; degraded " << stats.degraded;
+  if (stats.retried > 0) os << "; retried " << stats.retried;
   return os.str();
 }
 

@@ -30,6 +30,22 @@ namespace sent::pipeline {
 /// pool workers, so it must not touch shared mutable state.
 using ScenarioRunner = std::function<AnalysisReport(std::uint64_t seed)>;
 
+/// How one seeded run ended (DESIGN.md §9).
+enum class RunStatus {
+  Completed,  ///< runner returned a report (possibly degraded)
+  Failed,     ///< runner threw — isolated to this seed, siblings unaffected
+  TimedOut,   ///< runner hit the watchdog budget (sim::WatchdogTimeout)
+};
+
+/// Record of one non-completed run, for diagnostics. Seed order.
+struct RunFailure {
+  std::uint64_t seed = 0;
+  RunStatus status = RunStatus::Failed;
+  std::string message;
+
+  bool operator==(const RunFailure&) const = default;
+};
+
 struct CampaignStats {
   std::size_t runs = 0;
   std::size_t triggered = 0;       ///< runs where the bug manifested
@@ -37,6 +53,17 @@ struct CampaignStats {
   std::size_t k = 0;
   std::vector<std::size_t> first_ranks;  ///< one per triggered run, seed order
 
+  // Fault tolerance (DESIGN.md §9): a throwing or livelocked run is
+  // counted, not fatal. Trigger/detection rates stay over ALL runs, so
+  // fault-heavy campaigns degrade honestly instead of shrinking their
+  // denominator.
+  std::size_t failed = 0;     ///< runs whose runner threw (after any retry)
+  std::size_t timed_out = 0;  ///< runs that hit the watchdog budget
+  std::size_t retried = 0;    ///< runs retried under the retry policy
+  std::size_t degraded = 0;   ///< completed runs with a degraded report
+  std::vector<RunFailure> failures;  ///< non-completed runs, seed order
+
+  std::size_t completed() const { return runs - failed - timed_out; }
   double trigger_rate() const;
   /// Detection rate among triggered runs. Convention: 0.0 when no run
   /// triggered — a campaign that never manifests the bug has demonstrated
@@ -52,6 +79,13 @@ struct CampaignOptions {
   std::size_t runs = 20;
   std::size_t k = 5;          ///< detection cut-off rank
   std::size_t threads = 1;    ///< <= 1 runs seeds serially inline
+
+  /// Retry a Failed/TimedOut run once with seed + retry_seed_offset (an
+  /// offset keeps the retry's randomness disjoint from every primary seed
+  /// in the campaign window). The retry outcome replaces the original; a
+  /// run that fails twice is recorded with its retry error.
+  bool retry_failed = false;
+  std::uint64_t retry_seed_offset = 1'000'000'007;
 };
 
 /// Run `runner` for seeds first_seed .. first_seed + runs - 1, fanning the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "ml/detectors.hpp"
+#include "ml/error.hpp"
 #include "ml/ocsvm.hpp"
 #include "util/assert.hpp"
 #include "util/table.hpp"
@@ -119,7 +121,18 @@ AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
   report.detector_name = detector->name();
   report.feature_dim = matrix.dim();
 
-  report.scores = detector->score(matrix.rows);
+  try {
+    report.scores = detector->score(matrix.rows);
+  } catch (const ml::TrainingError& e) {
+    // Degrade instead of dying: the k-NN distance detector has no training
+    // phase and handles any finite matrix, so a run whose features broke
+    // the SVM still yields a (coarser) ranking. The report says so.
+    ml::KnnDetector fallback;
+    report.scores = fallback.score(matrix.rows);
+    report.detector_name = fallback.name() + " (fallback)";
+    report.degraded = true;
+    report.degradation = e.what();
+  }
   SENT_ASSERT(report.scores.size() == report.samples.size());
   core::normalize_scores(report.scores);
 

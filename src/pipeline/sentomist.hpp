@@ -72,6 +72,11 @@ struct AnalysisReport {
   std::size_t feature_dim = 0;
   /// Present only when AnalysisOptions::keep_features was set.
   core::FeatureMatrix features;
+  /// True when the configured detector failed to train (ml::TrainingError)
+  /// and the pipeline fell back to the k-NN distance detector instead of
+  /// aborting; `degradation` holds the original error (DESIGN.md §9).
+  bool degraded = false;
+  std::string degradation;
 
   /// 1-based ranks of ground-truth buggy samples, ascending.
   std::vector<std::size_t> bug_ranks() const;

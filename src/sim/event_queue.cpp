@@ -1,6 +1,8 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -41,6 +43,11 @@ void EventQueue::forget_cancelled(EventId id) {
   if (it != cancelled_.end()) cancelled_.erase(it);
 }
 
+void EventQueue::set_watchdog_budget(std::uint64_t budget) {
+  watchdog_budget_ = budget;
+  watchdog_armed_at_ = executed_;
+}
+
 bool EventQueue::step() {
   while (!heap_.empty()) {
     Entry e = heap_.top();
@@ -50,6 +57,16 @@ bool EventQueue::step() {
       continue;
     }
     SENT_ASSERT(e.at >= now_);
+    if (watchdog_budget_ != 0 &&
+        executed_ - watchdog_armed_at_ >= watchdog_budget_) {
+      // Put the event back so the queue stays consistent if the caller
+      // catches the timeout and carries on.
+      heap_.push(std::move(e));
+      throw WatchdogTimeout(
+          "simulation watchdog: event budget of " +
+          std::to_string(watchdog_budget_) + " exhausted at cycle " +
+          std::to_string(now_) + " (livelocked run?)");
+    }
     now_ = e.at;
     --live_;
     ++executed_;

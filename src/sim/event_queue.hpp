@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -16,6 +17,16 @@ namespace sent::sim {
 
 /// Handle identifying a scheduled event, usable for cancellation.
 using EventId = std::uint64_t;
+
+/// Thrown by step()/run_until() when the watchdog budget is exhausted: a
+/// run processed more events than its budget allows, the discrete-event
+/// signature of a livelock (injected faults can wedge protocol state
+/// machines into cycles that burn events without making progress).
+/// Campaigns classify a run that throws this as TimedOut.
+class WatchdogTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class EventQueue {
  public:
@@ -58,6 +69,13 @@ class EventQueue {
   /// Total events executed (for perf benches).
   std::uint64_t executed() const { return executed_; }
 
+  /// Arm the watchdog: after `budget` further events, step() throws
+  /// WatchdogTimeout. 0 disarms. Virtual time is already bounded by
+  /// run_until; the event budget is what catches livelocked runs that
+  /// schedule unboundedly many events in bounded virtual time.
+  void set_watchdog_budget(std::uint64_t budget);
+  std::uint64_t watchdog_budget() const { return watchdog_budget_; }
+
  private:
   struct Entry {
     Cycle at;
@@ -75,6 +93,8 @@ class EventQueue {
   EventId next_id_ = 1;
   std::size_t live_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t watchdog_budget_ = 0;   // 0 = disarmed
+  std::uint64_t watchdog_armed_at_ = 0; // executed_ when armed
 
   bool is_cancelled(EventId id) const;
   void forget_cancelled(EventId id);

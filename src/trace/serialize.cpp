@@ -1,5 +1,6 @@
 #include "trace/serialize.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -10,16 +11,6 @@ namespace sent::trace {
 namespace {
 
 constexpr const char* kMagic = "SENTOMIST-TRACE";
-
-[[noreturn]] void malformed(const std::string& what) {
-  throw MalformedTraceFile("malformed trace file: " + what);
-}
-
-std::string read_line(std::istream& in, const char* context) {
-  std::string line;
-  if (!std::getline(in, line)) malformed(std::string("EOF in ") + context);
-  return line;
-}
 
 // Fields within a line are tab-separated; names may contain spaces but
 // never tabs (CodeBuilder mnemonics are identifiers in practice).
@@ -37,17 +28,6 @@ std::vector<std::string> split_tabs(const std::string& line) {
   }
 }
 
-std::uint64_t to_u64(const std::string& s, const char* context) {
-  try {
-    std::size_t pos = 0;
-    std::uint64_t v = std::stoull(s, &pos);
-    if (pos != s.size()) malformed(std::string("bad number in ") + context);
-    return v;
-  } catch (const std::logic_error&) {
-    malformed(std::string("bad number in ") + context);
-  }
-}
-
 char kind_code(LifecycleKind kind) {
   switch (kind) {
     case LifecycleKind::PostTask: return 'P';
@@ -57,6 +37,128 @@ char kind_code(LifecycleKind kind) {
   }
   return '?';
 }
+
+// Incremental parser: fills `trace` record by record so that when a throw
+// interrupts it, everything already parsed is a usable prefix (the lenient
+// loader relies on this). Tracks the 1-based line number for error messages.
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : in_(in) {}
+
+  std::size_t line_no() const { return line_no_; }
+
+  void parse(NodeTrace& trace) {
+    {
+      std::string header = read_line("header");
+      std::ostringstream expected;
+      expected << kMagic << " v" << kTraceFormatVersion;
+      if (header != expected.str()) malformed("bad header: " + header);
+    }
+
+    trace.node_id = static_cast<std::uint32_t>(expect_section("node"));
+    trace.run_end = expect_section("run_end");
+
+    std::uint64_t n_table = expect_section("instr_table");
+    trace.instr_table.reserve(n_table);
+    for (std::uint64_t i = 0; i < n_table; ++i) {
+      auto fields = split_tabs(read_line("instr_table"));
+      if (fields.size() != 3) malformed("instr_table row arity");
+      trace.instr_table.push_back(
+          {fields[0], fields[1],
+           static_cast<std::uint32_t>(to_u64(fields[2], "instr cycles"))});
+    }
+
+    std::uint64_t n_items = expect_section("lifecycle");
+    trace.lifecycle.reserve(n_items);
+    for (std::uint64_t i = 0; i < n_items; ++i) {
+      auto fields = split_tabs(read_line("lifecycle"));
+      if (fields.size() < 3 || fields[0].size() != 1)
+        malformed("lifecycle row");
+      LifecycleItem item;
+      switch (fields[0][0]) {
+        case 'P': item.kind = LifecycleKind::PostTask; break;
+        case 'R': item.kind = LifecycleKind::RunTask; break;
+        case 'I': item.kind = LifecycleKind::Int; break;
+        case 'X': item.kind = LifecycleKind::Reti; break;
+        default: malformed("lifecycle kind " + fields[0]);
+      }
+      item.cycle = to_u64(fields[1], "lifecycle cycle");
+      item.arg =
+          static_cast<std::uint32_t>(to_u64(fields[2], "lifecycle arg"));
+      if (item.kind == LifecycleKind::RunTask) {
+        if (fields.size() != 4) malformed("runTask row needs end cycle");
+        item.end_cycle = to_u64(fields[3], "runTask end");
+        if (item.end_cycle < item.cycle)
+          malformed("runTask ends before it starts");
+      } else if (fields.size() != 3) {
+        malformed("lifecycle row arity");
+      }
+      trace.lifecycle.push_back(item);
+    }
+
+    std::uint64_t n_instrs = expect_section("instrs");
+    trace.instrs.reserve(n_instrs);
+    sim::Cycle prev = 0;
+    for (std::uint64_t i = 0; i < n_instrs; ++i) {
+      auto fields = split_tabs(read_line("instrs"));
+      if (fields.size() != 2) malformed("instr row arity");
+      prev += to_u64(fields[0], "instr delta");
+      auto id = static_cast<InstrId>(to_u64(fields[1], "instr id"));
+      if (!trace.instr_table.empty() && id >= trace.instr_table.size())
+        malformed("instruction id out of table range");
+      trace.instrs.push_back({prev, id});
+    }
+
+    std::uint64_t n_bugs = expect_section("bugs");
+    trace.bugs.reserve(n_bugs);
+    for (std::uint64_t i = 0; i < n_bugs; ++i) {
+      auto fields = split_tabs(read_line("bugs"));
+      if (fields.size() != 2) malformed("bug row arity");
+      trace.bugs.push_back({to_u64(fields[0], "bug cycle"), fields[1]});
+    }
+
+    if (read_line("trailer") != "end") malformed("missing end marker");
+  }
+
+ private:
+  std::istream& in_;
+  std::size_t line_no_ = 0;
+
+  [[noreturn]] void malformed(const std::string& what) const {
+    throw MalformedTraceFile("malformed trace file: line " +
+                             std::to_string(line_no_) + ": " + what);
+  }
+
+  std::string read_line(const char* context) {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      ++line_no_;  // the line that should have been there
+      malformed(std::string("EOF in ") + context);
+    }
+    ++line_no_;
+    return line;
+  }
+
+  std::uint64_t to_u64(const std::string& s, const char* context) const {
+    try {
+      std::size_t pos = 0;
+      std::uint64_t v = std::stoull(s, &pos);
+      if (pos != s.size())
+        malformed(std::string("bad number in ") + context);
+      return v;
+    } catch (const std::logic_error&) {
+      malformed(std::string("bad number in ") + context);
+    }
+  }
+
+  std::uint64_t expect_section(const char* name) {
+    std::string line = read_line(name);
+    auto space = line.find(' ');
+    if (space == std::string::npos || line.substr(0, space) != name)
+      malformed(std::string("expected section ") + name + ", got: " + line);
+    return to_u64(line.substr(space + 1), name);
+  }
+};
 
 }  // namespace
 
@@ -93,81 +195,32 @@ void save_trace(const NodeTrace& trace, std::ostream& out) {
 
 NodeTrace load_trace(std::istream& in) {
   NodeTrace trace;
-  {
-    std::string header = read_line(in, "header");
-    std::ostringstream expected;
-    expected << kMagic << " v" << kTraceFormatVersion;
-    if (header != expected.str()) malformed("bad header: " + header);
-  }
-  auto expect_section = [&](const char* name) -> std::uint64_t {
-    std::string line = read_line(in, name);
-    auto space = line.find(' ');
-    if (space == std::string::npos || line.substr(0, space) != name)
-      malformed(std::string("expected section ") + name + ", got: " + line);
-    return to_u64(line.substr(space + 1), name);
-  };
-
-  trace.node_id = static_cast<std::uint32_t>(expect_section("node"));
-  trace.run_end = expect_section("run_end");
-
-  std::uint64_t n_table = expect_section("instr_table");
-  trace.instr_table.reserve(n_table);
-  for (std::uint64_t i = 0; i < n_table; ++i) {
-    auto fields = split_tabs(read_line(in, "instr_table"));
-    if (fields.size() != 3) malformed("instr_table row arity");
-    trace.instr_table.push_back(
-        {fields[0], fields[1],
-         static_cast<std::uint32_t>(to_u64(fields[2], "instr cycles"))});
-  }
-
-  std::uint64_t n_items = expect_section("lifecycle");
-  trace.lifecycle.reserve(n_items);
-  for (std::uint64_t i = 0; i < n_items; ++i) {
-    auto fields = split_tabs(read_line(in, "lifecycle"));
-    if (fields.size() < 3 || fields[0].size() != 1)
-      malformed("lifecycle row");
-    LifecycleItem item;
-    switch (fields[0][0]) {
-      case 'P': item.kind = LifecycleKind::PostTask; break;
-      case 'R': item.kind = LifecycleKind::RunTask; break;
-      case 'I': item.kind = LifecycleKind::Int; break;
-      case 'X': item.kind = LifecycleKind::Reti; break;
-      default: malformed("lifecycle kind " + fields[0]);
-    }
-    item.cycle = to_u64(fields[1], "lifecycle cycle");
-    item.arg = static_cast<std::uint32_t>(to_u64(fields[2], "lifecycle arg"));
-    if (item.kind == LifecycleKind::RunTask) {
-      if (fields.size() != 4) malformed("runTask row needs end cycle");
-      item.end_cycle = to_u64(fields[3], "runTask end");
-    } else if (fields.size() != 3) {
-      malformed("lifecycle row arity");
-    }
-    trace.lifecycle.push_back(item);
-  }
-
-  std::uint64_t n_instrs = expect_section("instrs");
-  trace.instrs.reserve(n_instrs);
-  sim::Cycle prev = 0;
-  for (std::uint64_t i = 0; i < n_instrs; ++i) {
-    auto fields = split_tabs(read_line(in, "instrs"));
-    if (fields.size() != 2) malformed("instr row arity");
-    prev += to_u64(fields[0], "instr delta");
-    auto id = static_cast<InstrId>(to_u64(fields[1], "instr id"));
-    if (!trace.instr_table.empty() && id >= trace.instr_table.size())
-      malformed("instruction id out of table range");
-    trace.instrs.push_back({prev, id});
-  }
-
-  std::uint64_t n_bugs = expect_section("bugs");
-  trace.bugs.reserve(n_bugs);
-  for (std::uint64_t i = 0; i < n_bugs; ++i) {
-    auto fields = split_tabs(read_line(in, "bugs"));
-    if (fields.size() != 2) malformed("bug row arity");
-    trace.bugs.push_back({to_u64(fields[0], "bug cycle"), fields[1]});
-  }
-
-  if (read_line(in, "trailer") != "end") malformed("missing end marker");
+  Parser(in).parse(trace);
   return trace;
+}
+
+LenientLoadResult load_trace_lenient(std::istream& in) {
+  LenientLoadResult result;
+  Parser parser(in);
+  try {
+    parser.parse(result.trace);
+  } catch (const MalformedTraceFile& e) {
+    result.complete = false;
+    result.error_line = parser.line_no();
+    result.error = e.what();
+    // Clamp run_end over every surviving record so downstream consumers
+    // (anatomizer closes dangling intervals at run_end) never see a record
+    // beyond the end of the run, even if corruption inflated a cycle.
+    sim::Cycle max_cycle = result.trace.run_end;
+    for (const auto& item : result.trace.lifecycle)
+      max_cycle = std::max({max_cycle, item.cycle, item.end_cycle});
+    for (const auto& e : result.trace.instrs)
+      max_cycle = std::max(max_cycle, e.cycle);
+    for (const auto& bug : result.trace.bugs)
+      max_cycle = std::max(max_cycle, bug.cycle);
+    result.trace.run_end = max_cycle;
+  }
+  return result;
 }
 
 void save_trace_file(const NodeTrace& trace, const std::string& path) {
@@ -181,6 +234,12 @@ NodeTrace load_trace_file(const std::string& path) {
   std::ifstream in(path);
   SENT_REQUIRE_MSG(in.good(), "cannot open " << path);
   return load_trace(in);
+}
+
+LenientLoadResult load_trace_file_lenient(const std::string& path) {
+  std::ifstream in(path);
+  SENT_REQUIRE_MSG(in.good(), "cannot open " << path);
+  return load_trace_lenient(in);
 }
 
 }  // namespace sent::trace

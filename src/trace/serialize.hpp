@@ -27,10 +27,30 @@ NodeTrace load_trace(std::istream& in);
 void save_trace_file(const NodeTrace& trace, const std::string& path);
 NodeTrace load_trace_file(const std::string& path);
 
-/// Thrown by load_trace on any structural problem in the input.
+/// Thrown by load_trace on any structural problem in the input. The message
+/// names the 1-based line the parse failed on ("line N: ...").
 class MalformedTraceFile : public util::PreconditionError {
  public:
   using util::PreconditionError::PreconditionError;
 };
+
+/// Result of a lenient load: everything parsed up to the first structural
+/// problem. `trace` is the salvaged prefix with run_end clamped so no
+/// surviving record lies beyond it (safe to hand to the anatomizer, which
+/// closes dangling intervals at run_end). When `complete` is false,
+/// `error_line`/`error` describe the first problem, mirroring what the
+/// strict loader would have thrown.
+struct LenientLoadResult {
+  NodeTrace trace;
+  bool complete = true;
+  std::size_t error_line = 0;  ///< 1-based; 0 when complete
+  std::string error;
+};
+
+/// Salvage the valid prefix of a (possibly truncated or corrupted) trace.
+/// Never throws MalformedTraceFile; a trace that fails at the very first
+/// line yields an empty trace with complete=false.
+LenientLoadResult load_trace_lenient(std::istream& in);
+LenientLoadResult load_trace_file_lenient(const std::string& path);
 
 }  // namespace sent::trace

@@ -1,7 +1,9 @@
 #include "util/cli.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/assert.hpp"
 
@@ -78,12 +80,42 @@ std::string Cli::get(const std::string& name) const {
   return it->second.value;
 }
 
+namespace {
+
+// A bad value in a script (--jobs=abc) is a usage error, not a programming
+// error: report it with the flag's name and exit cleanly instead of letting
+// std::stoll's invalid_argument terminate the process.
+[[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                            const char* expected) {
+  std::fprintf(stderr, "flag --%s expects %s, got '%s'\n", name.c_str(),
+               expected, value.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
 std::int64_t Cli::get_int(const std::string& name) const {
-  return std::stoll(get(name));
+  const std::string value = get(name);
+  try {
+    std::size_t pos = 0;
+    std::int64_t v = std::stoll(value, &pos);
+    if (pos != value.size()) bad_value(name, value, "an integer");
+    return v;
+  } catch (const std::logic_error&) {
+    bad_value(name, value, "an integer");
+  }
 }
 
 double Cli::get_double(const std::string& name) const {
-  return std::stod(get(name));
+  const std::string value = get(name);
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(value, &pos);
+    if (pos != value.size()) bad_value(name, value, "a number");
+    return v;
+  } catch (const std::logic_error&) {
+    bad_value(name, value, "a number");
+  }
 }
 
 bool Cli::get_switch(const std::string& name) const {

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "apps/scenarios.hpp"
 #include "pipeline/campaign.hpp"
+#include "sim/event_queue.hpp"
 #include "util/assert.hpp"
 
 namespace sent::pipeline {
@@ -115,6 +118,123 @@ TEST(Campaign, SummaryMentionsRates) {
   EXPECT_NE(text.find("9 runs"), std::string::npos);
   EXPECT_NE(text.find("triggered in 3"), std::string::npos);
   EXPECT_NE(text.find("top-3"), std::string::npos);
+}
+
+// ---- fault tolerance (DESIGN.md §9) ---------------------------------------
+
+// One throwing seed among N must be isolated: recorded as Failed with its
+// message, with every sibling seed still aggregated normally.
+TEST(CampaignFaults, ThrowingSeedIsIsolated) {
+  auto runner = [](std::uint64_t seed) -> AnalysisReport {
+    if (seed == 4) throw std::runtime_error("seed 4 exploded");
+    return fake_report(seed);
+  };
+  CampaignStats stats = run_campaign(runner, /*first_seed=*/0, /*runs=*/9,
+                                     /*k=*/3);
+  EXPECT_EQ(stats.runs, 9u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.completed(), 8u);
+  ASSERT_EQ(stats.failures.size(), 1u);
+  EXPECT_EQ(stats.failures[0].seed, 4u);
+  EXPECT_EQ(stats.failures[0].status, RunStatus::Failed);
+  EXPECT_NE(stats.failures[0].message.find("seed 4 exploded"),
+            std::string::npos);
+  // Seed 4 does not trigger in fake_report, so the healthy aggregate is
+  // unchanged from the all-clean campaign.
+  EXPECT_EQ(stats.triggered, 3u);
+  EXPECT_EQ(stats.first_ranks, (std::vector<std::size_t>{1, 4, 7}));
+}
+
+// A runner that raises sim::WatchdogTimeout is classified TimedOut, not
+// Failed.
+TEST(CampaignFaults, WatchdogClassifiedAsTimedOut) {
+  auto runner = [](std::uint64_t seed) -> AnalysisReport {
+    if (seed % 2 == 0) throw sim::WatchdogTimeout("budget exhausted");
+    return fake_report(seed);
+  };
+  CampaignStats stats = run_campaign(runner, 0, 6, 3);
+  EXPECT_EQ(stats.timed_out, 3u);
+  EXPECT_EQ(stats.failed, 0u);
+  for (const RunFailure& f : stats.failures)
+    EXPECT_EQ(f.status, RunStatus::TimedOut);
+}
+
+// Parallel campaigns must stay bit-identical to serial even when some
+// seeds fail — failures are aggregated in seed order like everything else.
+TEST(CampaignFaults, ParallelMatchesSerialUnderFailures) {
+  auto runner = [](std::uint64_t seed) -> AnalysisReport {
+    if (seed % 5 == 0) throw std::runtime_error("bad seed");
+    if (seed % 7 == 0) throw sim::WatchdogTimeout("slow seed");
+    return fake_report(seed);
+  };
+  CampaignOptions options;
+  options.first_seed = 1;
+  options.runs = 40;
+  options.k = 3;
+  options.threads = 1;
+  CampaignStats serial = run_campaign(runner, options);
+  EXPECT_GT(serial.failed, 0u);
+  EXPECT_GT(serial.timed_out, 0u);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    options.threads = threads;
+    EXPECT_EQ(run_campaign(runner, options), serial)
+        << "threads=" << threads;
+  }
+}
+
+// The retry policy re-runs a failed seed once with an offset seed; a retry
+// that succeeds replaces the failure, one that fails again is recorded.
+TEST(CampaignFaults, RetryOnceWithOffsetSeed) {
+  auto runner = [](std::uint64_t seed) -> AnalysisReport {
+    if (seed < 100) throw std::runtime_error("primary seed always fails");
+    return fake_report(seed);
+  };
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 6;
+  options.k = 3;
+  options.retry_failed = true;
+  options.retry_seed_offset = 1000;  // retries run seeds 1000..1005
+  CampaignStats stats = run_campaign(runner, options);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.retried, 6u);
+  // Retried seeds 1000..1005: 1002 triggers (rank 2), 1005 triggers
+  // (rank 5) per fake_report's seed % 3 / % 7 rules.
+  EXPECT_EQ(stats.triggered, 2u);
+
+  options.retry_failed = false;
+  CampaignStats no_retry = run_campaign(runner, options);
+  EXPECT_EQ(no_retry.failed, 6u);
+  EXPECT_EQ(no_retry.retried, 0u);
+}
+
+// Livelock end to end: a real scenario with a tiny event budget throws
+// sim::WatchdogTimeout out of run_caseN, and the campaign absorbs it.
+TEST(CampaignFaults, EventBudgetTimesOutRealScenario) {
+  auto runner = [](std::uint64_t seed) {
+    apps::Case2Config config;
+    config.seed = seed;
+    config.run_seconds = 5.0;
+    config.event_budget = 1000;  // far below a real 5s run
+    apps::Case2Result r = apps::run_case2(config);
+    return analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
+  };
+  CampaignStats stats = run_campaign(runner, 1, 2, 5);
+  EXPECT_EQ(stats.timed_out, 2u);
+  EXPECT_EQ(stats.completed(), 0u);
+}
+
+// The summary line surfaces the new counters.
+TEST(CampaignFaults, SummaryMentionsFailures) {
+  auto runner = [](std::uint64_t seed) -> AnalysisReport {
+    if (seed == 0) throw std::runtime_error("boom");
+    if (seed == 1) throw sim::WatchdogTimeout("slow");
+    return fake_report(seed);
+  };
+  std::string text = summarize(run_campaign(runner, 0, 4, 3));
+  EXPECT_NE(text.find("failed 1"), std::string::npos);
+  EXPECT_NE(text.find("timed out 1"), std::string::npos);
 }
 
 // Real scenario: case II triggers often and detects at rank 1.

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace sent::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli;
+  cli.add_flag("jobs", "worker threads", "4");
+  cli.add_flag("rate", "loss rate", "0.1");
+  return cli;
+}
+
+TEST(Cli, ParsesValidNumbers) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--jobs=12", "--rate", "0.5"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("jobs"), 12);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+}
+
+TEST(Cli, DefaultsParse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("jobs"), 4);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.1);
+}
+
+// --jobs=abc used to escape as an uncaught std::invalid_argument from
+// std::stoll and terminate; now it is a usage error naming the flag.
+TEST(CliDeathTest, NonNumericIntIsUsageErrorNotAbort) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--jobs=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));  // lexically fine; typing is per-getter
+  EXPECT_EXIT(cli.get_int("jobs"), ::testing::ExitedWithCode(2),
+              "flag --jobs expects an integer, got 'abc'");
+}
+
+TEST(CliDeathTest, TrailingGarbageIsRejected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--jobs=12x"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EXIT(cli.get_int("jobs"), ::testing::ExitedWithCode(2),
+              "flag --jobs expects an integer");
+}
+
+TEST(CliDeathTest, NonNumericDoubleIsUsageError) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--rate=fast"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EXIT(cli.get_double("rate"), ::testing::ExitedWithCode(2),
+              "flag --rate expects a number, got 'fast'");
+}
+
+}  // namespace
+}  // namespace sent::util

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 
 #include "core/detector.hpp"
 #include "ml/detectors.hpp"
+#include "ml/error.hpp"
 #include "ml/eigen.hpp"
 #include "ml/kernel.hpp"
 #include "ml/kfd.hpp"
@@ -407,6 +409,29 @@ TEST(Ranking, NormalizeNoopWithoutPositives) {
   std::vector<double> scores{-3.0, -1.0};
   core::normalize_scores(scores);
   EXPECT_DOUBLE_EQ(scores[0], -3.0);
+}
+
+// Degenerate inputs must raise typed ml::TrainingError (DESIGN.md §9), not
+// abort: fault-injected traces can legitimately produce them and the
+// pipeline catches the error to fall back to the distance detector.
+TEST(Ocsvm, NonFiniteInputThrowsTrainingError) {
+  Rows rows = blob_with_outliers(20, 2, 1);
+  rows[3][1] = std::numeric_limits<double>::quiet_NaN();
+  OneClassSvm svm;
+  EXPECT_THROW(svm.fit(rows), TrainingError);
+  rows[3][1] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(svm.fit(rows), TrainingError);
+}
+
+TEST(Ocsvm, TrainingErrorIsARuntimeErrorWithContext) {
+  try {
+    Rows rows = {{1.0, std::numeric_limits<double>::quiet_NaN()}};
+    OneClassSvm().fit(rows);
+    FAIL() << "expected TrainingError";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("training error"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include "apps/scenarios.hpp"
 #include "ml/detectors.hpp"
+#include "ml/error.hpp"
 #include "pipeline/sentomist.hpp"
 
 namespace sent::pipeline {
@@ -146,6 +147,35 @@ TEST(Pipeline, MetricsHelpers) {
   EXPECT_DOUBLE_EQ(report.precision_at(1), 1.0);
   EXPECT_DOUBLE_EQ(report.precision_at(4), 0.25);
   EXPECT_THROW(report.precision_at(0), util::PreconditionError);
+}
+
+// A detector that throws ml::TrainingError must not kill the analysis:
+// the pipeline falls back to the k-NN distance detector and marks the
+// report degraded (DESIGN.md §9).
+TEST(PipelineDegradation, FallsBackToKnnOnTrainingError) {
+  class BrokenDetector final : public core::OutlierDetector {
+   public:
+    std::string name() const override { return "broken"; }
+    std::vector<double> score(
+        const std::vector<std::vector<double>>&) override {
+      throw ml::TrainingError("synthetic failure for testing");
+    }
+  };
+  AnalysisOptions options;
+  options.detector = std::make_shared<BrokenDetector>();
+  AnalysisReport report = analyze(case1_traces(), os::irq::kAdc, options);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.degradation.find("synthetic failure"),
+            std::string::npos);
+  EXPECT_EQ(report.detector_name, "knn (fallback)");
+  EXPECT_EQ(report.scores.size(), report.samples.size());
+  EXPECT_EQ(report.ranking.size(), report.samples.size());
+}
+
+TEST(PipelineDegradation, HealthyRunIsNotDegraded) {
+  AnalysisReport report = analyze(case1_traces(), os::irq::kAdc);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_TRUE(report.degradation.empty());
 }
 
 }  // namespace

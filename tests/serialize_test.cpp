@@ -190,5 +190,149 @@ TEST(Serialize, LoadedTraceAnalyzesIdentically) {
   }
 }
 
+// ---- error line numbers ---------------------------------------------------
+
+// The strict loader names the 1-based line a parse fails on, so a corrupted
+// multi-megabyte trace is debuggable.
+TEST(SerializeErrors, MessagesCarryLineNumbers) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  std::string text = buffer.str();
+  // sample() serializes: header(1) node(2) run_end(3) instr_table(4)
+  // rows(5-6) lifecycle(7) rows(8-11) instrs(12) ...
+  auto pos = text.find("run_end 5000");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "run_end xyz5");
+  std::stringstream corrupted(text);
+  try {
+    load_trace(corrupted);
+    FAIL() << "expected MalformedTraceFile";
+  } catch (const MalformedTraceFile& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeErrors, EofNamesTheMissingLine) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  // Keep exactly the first 5 lines (through the first instr_table row).
+  std::string text = buffer.str();
+  std::size_t cut = 0;
+  for (int i = 0; i < 5; ++i) cut = text.find('\n', cut) + 1;
+  std::stringstream truncated(text.substr(0, cut));
+  try {
+    load_trace(truncated);
+    FAIL() << "expected MalformedTraceFile";
+  } catch (const MalformedTraceFile& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("line 6"), std::string::npos) << what;
+    EXPECT_NE(what.find("EOF"), std::string::npos) << what;
+  }
+}
+
+// ---- lenient loading (DESIGN.md §9) ---------------------------------------
+
+TEST(SerializeLenient, CompleteTraceLoadsUnchanged) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  LenientLoadResult result = load_trace_lenient(buffer);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.error_line, 0u);
+  EXPECT_TRUE(traces_equal(sample(), result.trace));
+}
+
+// Truncation at every possible byte offset must salvage without throwing —
+// the exhaustive corpus the chaos bench's truncation fault draws from.
+TEST(SerializeLenient, SalvagesEveryTruncationPoint) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  const std::string text = buffer.str();
+  // Dropping only the final newline of "end\n" loses no records — that one
+  // cut still parses as complete.
+  {
+    std::stringstream almost(text.substr(0, text.size() - 1));
+    EXPECT_TRUE(load_trace_lenient(almost).complete);
+  }
+  for (std::size_t cut = 0; cut + 1 < text.size(); ++cut) {
+    std::stringstream truncated(text.substr(0, cut));
+    LenientLoadResult result = load_trace_lenient(truncated);
+    EXPECT_FALSE(result.complete) << "cut=" << cut;
+    EXPECT_GT(result.error_line, 0u) << "cut=" << cut;
+    EXPECT_FALSE(result.error.empty()) << "cut=" << cut;
+    // The salvaged prefix never claims more than the full trace has.
+    EXPECT_LE(result.trace.lifecycle.size(), sample().lifecycle.size());
+    EXPECT_LE(result.trace.instrs.size(), sample().instrs.size());
+    // run_end covers every surviving record (anatomizer safety).
+    for (const auto& item : result.trace.lifecycle) {
+      EXPECT_LE(item.cycle, result.trace.run_end);
+      EXPECT_LE(item.end_cycle, result.trace.run_end);
+    }
+    for (const auto& e : result.trace.instrs)
+      EXPECT_LE(e.cycle, result.trace.run_end);
+  }
+}
+
+TEST(SerializeLenient, SalvagedPrefixKeepsParsedRecords) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  std::string text = buffer.str();
+  // Cut just before the instrs section: lifecycle fully parsed.
+  std::size_t pos = text.find("instrs ");
+  ASSERT_NE(pos, std::string::npos);
+  std::stringstream truncated(text.substr(0, pos));
+  LenientLoadResult result = load_trace_lenient(truncated);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.trace.node_id, 7u);
+  EXPECT_EQ(result.trace.lifecycle.size(), sample().lifecycle.size());
+  EXPECT_TRUE(result.trace.instrs.empty());
+}
+
+// A corrupted byte mid-file salvages everything before the bad line.
+TEST(SerializeLenient, SalvagesPrefixBeforeCorruption) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  std::string text = buffer.str();
+  auto pos = text.find("104\t0");  // first instr row
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "1X4\t0");
+  std::stringstream corrupted(text);
+  LenientLoadResult result = load_trace_lenient(corrupted);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.trace.lifecycle.size(), sample().lifecycle.size());
+  EXPECT_TRUE(result.trace.instrs.empty());
+  EXPECT_NE(result.error.find("bad number"), std::string::npos);
+}
+
+// The salvage must be consumable by the anatomizer end to end: a real
+// scenario trace truncated mid-stream still yields intervals (dangling
+// handlers close at run_end).
+TEST(SerializeLenient, SalvagedRealTraceIsAnalyzable) {
+  apps::Case2Config config;
+  config.seed = 3;
+  config.run_seconds = 5.0;
+  apps::Case2Result result = apps::run_case2(config);
+  std::stringstream buffer;
+  save_trace(result.relay_trace, buffer);
+  const std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, (text.size() * 3) / 4));
+  LenientLoadResult salvaged = load_trace_lenient(truncated);
+  EXPECT_FALSE(salvaged.complete);
+  ::sent::core::Anatomizer anatomizer(salvaged.trace);
+  auto intervals = anatomizer.intervals_for(os::irq::kRadioSpi);
+  EXPECT_FALSE(intervals.empty());
+}
+
+TEST(SerializeLenient, FileWrapper) {
+  std::string path = ::testing::TempDir() + "sentomist_lenient.trace";
+  save_trace_file(sample(), path);
+  LenientLoadResult result = load_trace_file_lenient(path);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(traces_equal(sample(), result.trace));
+  std::remove(path.c_str());
+  EXPECT_THROW(load_trace_file_lenient("/nonexistent/dir/x.trace"),
+               util::PreconditionError);
+}
+
 }  // namespace
 }  // namespace sent::trace

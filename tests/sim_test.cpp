@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -163,6 +164,65 @@ TEST(EventQueue, ManyEventsStressOrdering) {
   ASSERT_EQ(times.size(), 1000u);
   for (std::size_t i = 1; i < times.size(); ++i)
     EXPECT_LE(times[i - 1], times[i]);
+}
+
+// ---- watchdog (DESIGN.md §9) ----------------------------------------------
+
+// A livelocked run — events rescheduling themselves forever within bounded
+// virtual time — trips the event budget instead of spinning.
+TEST(Watchdog, LivelockThrowsWatchdogTimeout) {
+  EventQueue q;
+  q.set_watchdog_budget(100);
+  std::function<void()> spin = [&] { q.schedule_after(0, spin); };
+  q.schedule_at(0, spin);
+  EXPECT_THROW(q.run_until(10), WatchdogTimeout);
+  EXPECT_EQ(q.executed(), 100u);
+}
+
+TEST(Watchdog, BudgetCoversNormalRuns) {
+  EventQueue q;
+  q.set_watchdog_budget(1000);
+  int fired = 0;
+  for (int i = 0; i < 50; ++i)
+    q.schedule_at(static_cast<Cycle>(i), [&] { ++fired; });
+  EXPECT_NO_THROW(q.run_all());
+  EXPECT_EQ(fired, 50);
+}
+
+TEST(Watchdog, ZeroDisarms) {
+  EventQueue q;
+  q.set_watchdog_budget(10);
+  q.set_watchdog_budget(0);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i)
+    q.schedule_at(static_cast<Cycle>(i), [&] { ++fired; });
+  EXPECT_NO_THROW(q.run_all());
+  EXPECT_EQ(fired, 100);
+}
+
+// Re-arming resets the countdown relative to events already executed.
+TEST(Watchdog, RearmResetsBudget) {
+  EventQueue q;
+  for (int i = 0; i < 30; ++i)
+    q.schedule_at(static_cast<Cycle>(i), [] {});
+  q.run_until(9);  // 10 events executed
+  q.set_watchdog_budget(25);
+  EXPECT_NO_THROW(q.run_all());  // only 20 remain, under the fresh budget
+}
+
+// The queue stays consistent after a timeout: the unexecuted event is
+// still pending and runs once the budget is lifted.
+TEST(Watchdog, QueueUsableAfterTimeout) {
+  EventQueue q;
+  q.set_watchdog_budget(1);
+  int fired = 0;
+  q.schedule_at(0, [&] { ++fired; });
+  q.schedule_at(1, [&] { ++fired; });
+  EXPECT_THROW(q.run_all(), WatchdogTimeout);
+  EXPECT_EQ(fired, 1);
+  q.set_watchdog_budget(0);
+  q.run_all();
+  EXPECT_EQ(fired, 2);
 }
 
 }  // namespace
