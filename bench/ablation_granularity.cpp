@@ -51,7 +51,7 @@ Graded grade(const std::vector<const trace::NodeTrace*>& traces,
   ml::OcsvmParams params;
   params.threads = jobs;
   ml::OneClassSvm svm(params);
-  std::vector<double> scores = svm.score(matrix.rows);
+  std::vector<double> scores = svm.score(matrix.values);
   auto ranked = core::rank_ascending(scores);
 
   Graded g;

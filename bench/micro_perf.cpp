@@ -1,11 +1,31 @@
-// Micro-benchmarks (google-benchmark): throughput of the pieces the
-// Sentomist pipeline is built from — the emulator, the lifecycle parser,
-// the featurizer, and the one-class SVM.
+// Micro-benchmarks: throughput of the pieces the Sentomist pipeline is
+// built from — the emulator, the lifecycle parser, the featurizer, and the
+// one-class SVM.
+//
+// Besides the google-benchmark suite, this binary owns the ML data-plane
+// benchmark (DESIGN.md §10): an (l, d) grid timing the reference
+// (per-element) vs optimized (norm-cached blocked) kernel build, the
+// first-order vs WSS2+shrinking SMO solver, and compact-SV batch
+// inference, written to BENCH_ml.json together with a small-input parity
+// self-check. Flags:
+//   --quick          small grid, skip the google-benchmark suite (CI smoke)
+//   --ml-json PATH   where to write BENCH_ml.json (default ./BENCH_ml.json)
+// The process exits nonzero if the parity check fails or the optimized
+// kernel build does not beat the reference build.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "apps/scenarios.hpp"
 #include "core/anatomizer.hpp"
 #include "core/features.hpp"
+#include "ml/kernel.hpp"
 #include "ml/ocsvm.hpp"
 #include "os/node.hpp"
 #include "pipeline/campaign.hpp"
@@ -92,7 +112,7 @@ void BM_InstructionCounters(benchmark::State& state) {
   auto intervals = anatomizer.intervals_for(os::irq::kAdc);
   for (auto _ : state) {
     auto m = core::instruction_counters(t, intervals);
-    benchmark::DoNotOptimize(m.rows.size());
+    benchmark::DoNotOptimize(m.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(intervals.size()) *
                           state.iterations());
@@ -101,15 +121,17 @@ BENCHMARK(BM_InstructionCounters);
 
 // --------------------------------------------------------------- SVM
 
+ml::Matrix random_matrix(std::size_t l, std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Matrix x(l, d);
+  double* p = x.data();
+  for (std::size_t i = 0, n = l * d; i < n; ++i) p[i] = rng.normal();
+  return x;
+}
+
 void BM_OcsvmFitScore(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(2);
-  std::vector<std::vector<double>> rows;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<double> row(20);
-    for (double& v : row) v = rng.normal();
-    rows.push_back(std::move(row));
-  }
+  ml::Matrix rows = random_matrix(n, 20, 2);
   for (auto _ : state) {
     ml::OneClassSvm svm;
     auto scores = svm.score(rows);
@@ -122,14 +144,7 @@ BENCHMARK(BM_OcsvmFitScore)->Arg(200)->Arg(1000);
 // Kernel-matrix build fanned across a pool: Arg is the thread count, so
 // comparing Arg(1) vs Arg(N) rows shows the parallel speedup directly.
 void BM_OcsvmKernelParallel(benchmark::State& state) {
-  const std::size_t n = 600;
-  util::Rng rng(2);
-  std::vector<std::vector<double>> rows;
-  for (std::size_t i = 0; i < n; ++i) {
-    std::vector<double> row(40);
-    for (double& v : row) v = rng.normal();
-    rows.push_back(std::move(row));
-  }
+  ml::Matrix rows = random_matrix(600, 40, 2);
   ml::OcsvmParams params;
   params.threads = static_cast<std::size_t>(state.range(0));
   params.max_iter = 1;  // isolate the kernel build, not the SMO loop
@@ -138,7 +153,7 @@ void BM_OcsvmKernelParallel(benchmark::State& state) {
     svm.fit(rows);
     benchmark::DoNotOptimize(svm.rho());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(n * n) *
+  state.SetItemsProcessed(static_cast<std::int64_t>(600 * 600) *
                           state.iterations());
 }
 BENCHMARK(BM_OcsvmKernelParallel)->Arg(1)->Arg(2)->Arg(4)->Unit(
@@ -184,6 +199,223 @@ void BM_Case2EndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_Case2EndToEnd)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------- ML data-plane benchmark
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time of fn(), in milliseconds.
+template <typename Fn>
+double time_best_ms(std::size_t reps, Fn&& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    double t0 = now_ms();
+    fn();
+    best = std::min(best, now_ms() - t0);
+  }
+  return best;
+}
+
+struct MlGridResult {
+  std::size_t l = 0, d = 0;
+  double kernel_ref_ms = 0, kernel_opt_ms = 0;
+  double fit_ref_ms = 0, fit_opt_ms = 0;
+  std::size_t iters_ref = 0, iters_opt = 0;
+  std::size_t sv_count = 0;
+  double decision_ref_ms = 0, decision_opt_ms = 0;
+};
+
+struct MlParity {
+  double kernel_max_abs_diff = 0;
+  double rho_diff = 0;
+  double decision_max_abs_diff = 0;
+  bool ok = false;
+};
+
+ml::OcsvmParams grid_params(bool reference) {
+  ml::OcsvmParams p;
+  p.nu = 0.1;
+  p.reference = reference;
+  return p;
+}
+
+MlGridResult run_ml_config(std::size_t l, std::size_t d) {
+  MlGridResult res;
+  res.l = l;
+  res.d = d;
+  ml::Matrix x = random_matrix(l, d, 0xfeed + l + d);
+  ml::KernelSpec spec;  // RBF, auto gamma
+  double gamma = ml::resolve_gamma(spec, d);
+  const std::size_t reps = l >= 1000 ? 2 : 3;
+
+  // Untimed warm-up: sizes both output buffers and faults their pages in,
+  // so the timed reps measure the build itself rather than the first-touch
+  // cost of a fresh l*l allocation.
+  std::vector<double> k_ref, k_opt;
+  ml::build_kernel_matrix_reference(spec, gamma, x, nullptr, k_ref);
+  ml::build_kernel_matrix(spec, gamma, x, nullptr, k_opt);
+  res.kernel_ref_ms = time_best_ms(reps, [&] {
+    ml::build_kernel_matrix_reference(spec, gamma, x, nullptr, k_ref);
+  });
+  res.kernel_opt_ms = time_best_ms(reps, [&] {
+    ml::build_kernel_matrix(spec, gamma, x, nullptr, k_opt);
+  });
+
+  ml::OneClassSvm ref(grid_params(true));
+  res.fit_ref_ms = time_best_ms(1, [&] { ref.fit(x); });
+  res.iters_ref = ref.iterations_used();
+
+  ml::OneClassSvm opt(grid_params(false));
+  res.fit_opt_ms = time_best_ms(1, [&] { opt.fit(x); });
+  res.iters_opt = opt.iterations_used();
+  res.sv_count = opt.support_vector_count();
+
+  res.decision_ref_ms =
+      time_best_ms(reps, [&] { ref.decision_batch(x); });
+  res.decision_opt_ms =
+      time_best_ms(reps, [&] { opt.decision_batch(x); });
+  return res;
+}
+
+MlParity run_ml_parity() {
+  MlParity parity;
+  const std::size_t l = 80, d = 8;
+  ml::Matrix x = random_matrix(l, d, 0xbeef);
+  ml::KernelSpec spec;
+  double gamma = ml::resolve_gamma(spec, d);
+
+  std::vector<double> k_ref, k_opt;
+  ml::build_kernel_matrix_reference(spec, gamma, x, nullptr, k_ref);
+  ml::build_kernel_matrix(spec, gamma, x, nullptr, k_opt);
+  for (std::size_t i = 0; i < k_ref.size(); ++i)
+    parity.kernel_max_abs_diff =
+        std::max(parity.kernel_max_abs_diff, std::abs(k_ref[i] - k_opt[i]));
+
+  auto tight = [](bool reference) {
+    ml::OcsvmParams p = grid_params(reference);
+    p.tol = 1e-10;
+    return p;
+  };
+  ml::OneClassSvm ref(tight(true)), opt(tight(false));
+  ref.fit(x);
+  opt.fit(x);
+  parity.rho_diff = std::abs(ref.rho() - opt.rho());
+  auto d_ref = ref.decision_batch(x);
+  auto d_opt = opt.decision_batch(x);
+  for (std::size_t i = 0; i < d_ref.size(); ++i)
+    parity.decision_max_abs_diff = std::max(
+        parity.decision_max_abs_diff, std::abs(d_ref[i] - d_opt[i]));
+
+  parity.ok = parity.kernel_max_abs_diff < 1e-10 &&
+              parity.rho_diff < 1e-7 && parity.decision_max_abs_diff < 1e-7;
+  return parity;
+}
+
+int run_ml_bench(bool quick, const std::string& json_path) {
+  std::vector<std::pair<std::size_t, std::size_t>> grid = {{300, 32},
+                                                           {600, 64}};
+  if (!quick) {
+    grid.push_back({1000, 64});
+    grid.push_back({2000, 64});
+  }
+
+  std::printf("ML data plane: reference vs optimized (%s grid)\n",
+              quick ? "quick" : "full");
+  MlParity parity = run_ml_parity();
+  std::printf(
+      "parity (l=80,d=8): kernel max|diff| %.3e, rho diff %.3e, "
+      "decision max|diff| %.3e -> %s\n",
+      parity.kernel_max_abs_diff, parity.rho_diff,
+      parity.decision_max_abs_diff, parity.ok ? "OK" : "FAIL");
+
+  std::vector<MlGridResult> results;
+  for (auto [l, d] : grid) {
+    MlGridResult r = run_ml_config(l, d);
+    std::printf(
+        "l=%4zu d=%3zu  kernel %8.2f -> %8.2f ms (x%.2f)  fit %8.2f -> "
+        "%8.2f ms  iters %6zu -> %6zu  sv %4zu  batch %7.2f -> %7.2f ms\n",
+        r.l, r.d, r.kernel_ref_ms, r.kernel_opt_ms,
+        r.kernel_ref_ms / std::max(r.kernel_opt_ms, 1e-9), r.fit_ref_ms,
+        r.fit_opt_ms, r.iters_ref, r.iters_opt, r.sv_count,
+        r.decision_ref_ms, r.decision_opt_ms);
+    results.push_back(r);
+  }
+
+  std::ofstream os(json_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  os << "{\n  \"bench\": \"ml_data_plane\",\n";
+  os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  os << "  \"parity\": {\n"
+     << "    \"kernel_max_abs_diff\": " << parity.kernel_max_abs_diff
+     << ",\n    \"rho_diff\": " << parity.rho_diff
+     << ",\n    \"decision_max_abs_diff\": " << parity.decision_max_abs_diff
+     << ",\n    \"ok\": " << (parity.ok ? "true" : "false") << "\n  },\n";
+  os << "  \"grid\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MlGridResult& r = results[i];
+    os << "    {\"l\": " << r.l << ", \"d\": " << r.d
+       << ", \"kernel_ref_ms\": " << r.kernel_ref_ms
+       << ", \"kernel_opt_ms\": " << r.kernel_opt_ms << ", \"kernel_speedup\": "
+       << r.kernel_ref_ms / std::max(r.kernel_opt_ms, 1e-9)
+       << ",\n     \"fit_ref_ms\": " << r.fit_ref_ms
+       << ", \"fit_opt_ms\": " << r.fit_opt_ms
+       << ", \"iters_ref\": " << r.iters_ref
+       << ", \"iters_opt\": " << r.iters_opt
+       << ", \"sv_count\": " << r.sv_count
+       << ",\n     \"decision_batch_ref_ms\": " << r.decision_ref_ms
+       << ", \"decision_batch_opt_ms\": " << r.decision_opt_ms << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.close();
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!parity.ok) {
+    std::fprintf(stderr, "ML parity self-check FAILED\n");
+    return 1;
+  }
+  // The largest grid entry must show the optimized build winning.
+  const MlGridResult& last = results.back();
+  if (last.kernel_opt_ms >= last.kernel_ref_ms) {
+    std::fprintf(stderr,
+                 "optimized kernel build (%.2f ms) did not beat the "
+                 "reference build (%.2f ms) at l=%zu d=%zu\n",
+                 last.kernel_opt_ms, last.kernel_ref_ms, last.l, last.d);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string ml_json = "BENCH_ml.json";
+  std::vector<char*> fwd;
+  fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--ml-json") == 0 && i + 1 < argc) {
+      ml_json = argv[++i];
+    } else {
+      fwd.push_back(argv[i]);
+    }
+  }
+
+  int rc = run_ml_bench(quick, ml_json);
+  if (rc != 0 || quick) return rc;
+
+  int fwd_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&fwd_argc, fwd.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

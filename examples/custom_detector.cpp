@@ -24,13 +24,13 @@ class TotalActivityZScore final : public core::OutlierDetector {
  public:
   std::string name() const override { return "total-activity-zscore"; }
 
-  std::vector<double> score(
-      const std::vector<std::vector<double>>& rows) override {
+  using core::OutlierDetector::score;
+  std::vector<double> score(const ml::Matrix& rows) override {
     std::vector<double> totals;
-    totals.reserve(rows.size());
-    for (const auto& row : rows) {
+    totals.reserve(rows.rows());
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
       double t = 0.0;
-      for (double v : row) t += v;
+      for (double v : rows.row(r)) t += v;
       totals.push_back(t);
     }
     double mu = util::mean(totals);

@@ -37,4 +37,11 @@ cmake --build build-asan -j "${JOBS}" \
 # that fails to reproduce the no-harness baseline.
 ./build/bench/ext_chaos --runs 4 --jobs 2 --json build/BENCH_chaos_smoke.json
 
-echo "tier-1 OK (incl. TSan concurrency + ASan/UBSan fault-surface + chaos smoke)"
+# ML data-plane smoke: the quick grid plus the built-in parity self-check
+# (optimized vs reference kernel/solver/decision). micro_perf exits nonzero
+# if parity fails or the optimized kernel build is not faster than the
+# retained reference, so a silent perf or numerics regression fails tier-1.
+./build/bench/micro_perf --quick --ml-json build/BENCH_ml.json
+test -s build/BENCH_ml.json
+
+echo "tier-1 OK (incl. TSan concurrency + ASan/UBSan fault-surface + chaos + ML parity smoke)"

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "ml/matrix.hpp"
+
 namespace sent::core {
 
 class OutlierDetector {
@@ -23,10 +25,17 @@ class OutlierDetector {
 
   virtual std::string name() const = 0;
 
-  /// Score every row (lower = more suspicious). rows must be non-empty and
-  /// rectangular.
-  virtual std::vector<double> score(
-      const std::vector<std::vector<double>>& rows) = 0;
+  /// Score every row (lower = more suspicious). The matrix must be
+  /// non-empty with a positive column count.
+  virtual std::vector<double> score(const ml::Matrix& rows) = 0;
+
+  /// Convenience adapter for row-vector callers: copies into a flat
+  /// Matrix and dispatches to the virtual overload. Implementations that
+  /// declare their own score() should re-export it with
+  /// `using core::OutlierDetector::score;`.
+  std::vector<double> score(const std::vector<std::vector<double>>& rows) {
+    return score(ml::Matrix::from_rows(rows));
+  }
 };
 
 struct RankedSample {

@@ -1,7 +1,7 @@
 #include "core/features.hpp"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
 
 #include "util/assert.hpp"
 
@@ -36,14 +36,15 @@ FeatureMatrix instruction_counters(
   for (const auto& meta : trace.instr_table)
     m.names.push_back(meta.code_object + "/" + meta.name);
 
-  m.rows.reserve(intervals.size());
-  for (const auto& interval : intervals) {
-    std::vector<double> row(trace.instr_table.size(), 0.0);
-    for_instrs_in_window(trace, interval, [&](trace::InstrId id) {
+  // One flat allocation for the whole matrix; rows are zero-filled and
+  // incremented in place (no per-interval scratch row).
+  m.values = ml::Matrix(intervals.size(), trace.instr_table.size());
+  for (std::size_t r = 0; r < intervals.size(); ++r) {
+    std::span<double> row = m.values.row(r);
+    for_instrs_in_window(trace, intervals[r], [&](trace::InstrId id) {
       SENT_ASSERT(id < row.size());
       row[id] += 1.0;
     });
-    m.rows.push_back(std::move(row));
   }
   return m;
 }
@@ -53,8 +54,9 @@ FeatureMatrix coarse_features(const trace::NodeTrace& trace,
   FeatureMatrix m;
   m.names = {"duration_cycles", "instr_executed", "task_count",
              "posts_in_window", "ints_in_window"};
-  m.rows.reserve(intervals.size());
-  for (const auto& interval : intervals) {
+  m.values = ml::Matrix(intervals.size(), m.names.size());
+  for (std::size_t r = 0; r < intervals.size(); ++r) {
+    const auto& interval = intervals[r];
     double instr_executed = 0;
     for_instrs_in_window(trace, interval,
                          [&](trace::InstrId) { instr_executed += 1.0; });
@@ -65,10 +67,12 @@ FeatureMatrix coarse_features(const trace::NodeTrace& trace,
       posts += item.kind == trace::LifecycleKind::PostTask;
       ints += item.kind == trace::LifecycleKind::Int;
     }
-    m.rows.push_back({static_cast<double>(interval.duration()),
-                      instr_executed,
-                      static_cast<double>(interval.task_count), posts,
-                      ints});
+    std::span<double> row = m.values.row(r);
+    row[0] = static_cast<double>(interval.duration());
+    row[1] = instr_executed;
+    row[2] = static_cast<double>(interval.task_count);
+    row[3] = posts;
+    row[4] = ints;
   }
   return m;
 }
@@ -79,7 +83,8 @@ FeatureMatrix code_object_counters(
                    "trace has no instruction table");
   // Column per distinct code object, in order of first appearance.
   std::vector<std::string> objects;
-  std::map<std::string, std::size_t> column;
+  std::unordered_map<std::string, std::size_t> column;
+  column.reserve(trace.instr_table.size());
   std::vector<std::size_t> instr_to_column(trace.instr_table.size());
   for (std::size_t i = 0; i < trace.instr_table.size(); ++i) {
     const std::string& name = trace.instr_table[i].code_object;
@@ -90,25 +95,24 @@ FeatureMatrix code_object_counters(
 
   FeatureMatrix m;
   m.names = objects;
-  m.rows.reserve(intervals.size());
-  for (const auto& interval : intervals) {
-    std::vector<double> row(objects.size(), 0.0);
-    for_instrs_in_window(trace, interval, [&](trace::InstrId id) {
+  m.values = ml::Matrix(intervals.size(), objects.size());
+  for (std::size_t r = 0; r < intervals.size(); ++r) {
+    std::span<double> row = m.values.row(r);
+    for_instrs_in_window(trace, intervals[r], [&](trace::InstrId id) {
       row[instr_to_column[id]] += 1.0;
     });
-    m.rows.push_back(std::move(row));
   }
   return m;
 }
 
 void append_rows(FeatureMatrix& base, const FeatureMatrix& other) {
-  if (base.names.empty() && base.rows.empty()) {
+  if (base.names.empty() && base.empty()) {
     base = other;
     return;
   }
   SENT_REQUIRE_MSG(base.names == other.names,
                    "FeatureMatrix column layouts differ");
-  base.rows.insert(base.rows.end(), other.rows.begin(), other.rows.end());
+  base.values.append_rows(other.values);
 }
 
 }  // namespace sent::core

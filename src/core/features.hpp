@@ -16,16 +16,19 @@
 #include <vector>
 
 #include "core/anatomizer.hpp"
+#include "ml/matrix.hpp"
 #include "trace/recorder.hpp"
 
 namespace sent::core {
 
 struct FeatureMatrix {
-  std::vector<std::string> names;          ///< one per column
-  std::vector<std::vector<double>> rows;   ///< one per interval
+  std::vector<std::string> names;  ///< one per column
+  ml::Matrix values;               ///< one row per interval (flat, row-major)
 
   std::size_t dim() const { return names.size(); }
-  std::size_t size() const { return rows.size(); }
+  std::size_t size() const { return values.rows(); }
+  bool empty() const { return values.empty(); }
+  std::span<const double> row(std::size_t i) const { return values.row(i); }
 };
 
 /// Definition 4: one instruction-counter row per interval. Column i

@@ -36,7 +36,8 @@ Localization localize(const FeatureMatrix& matrix,
   std::vector<double> mean_s(d, 0.0), mean_n(d, 0.0), var_n(d, 0.0);
   for (std::size_t r = 0; r < matrix.size(); ++r) {
     auto& target = suspicious[r] ? mean_s : mean_n;
-    for (std::size_t j = 0; j < d; ++j) target[j] += matrix.rows[r][j];
+    std::span<const double> row = matrix.row(r);
+    for (std::size_t j = 0; j < d; ++j) target[j] += row[j];
   }
   for (std::size_t j = 0; j < d; ++j) {
     mean_s[j] /= static_cast<double>(n_suspicious);
@@ -44,8 +45,9 @@ Localization localize(const FeatureMatrix& matrix,
   }
   for (std::size_t r = 0; r < matrix.size(); ++r) {
     if (suspicious[r]) continue;
+    std::span<const double> row = matrix.row(r);
     for (std::size_t j = 0; j < d; ++j) {
-      double delta = matrix.rows[r][j] - mean_n[j];
+      double delta = row[j] - mean_n[j];
       var_n[j] += delta * delta;
     }
   }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/detector.hpp"
+#include "ml/matrix.hpp"
 #include "ml/scaler.hpp"
 
 namespace sent::ml {
@@ -27,8 +28,8 @@ class PcaDetector final : public core::OutlierDetector {
  public:
   explicit PcaDetector(double explained = 0.95);
   std::string name() const override { return "pca"; }
-  std::vector<double> score(
-      const std::vector<std::vector<double>>& rows) override;
+  std::vector<double> score(const ml::Matrix& rows) override;
+  using core::OutlierDetector::score;
 
   std::size_t components_used() const { return components_; }
 
@@ -43,8 +44,8 @@ class KnnDetector final : public core::OutlierDetector {
  public:
   explicit KnnDetector(std::size_t k = 10);
   std::string name() const override { return "knn"; }
-  std::vector<double> score(
-      const std::vector<std::vector<double>>& rows) override;
+  std::vector<double> score(const ml::Matrix& rows) override;
+  using core::OutlierDetector::score;
 
  private:
   std::size_t k_;
@@ -55,8 +56,8 @@ class LofDetector final : public core::OutlierDetector {
  public:
   explicit LofDetector(std::size_t k = 10);
   std::string name() const override { return "lof"; }
-  std::vector<double> score(
-      const std::vector<std::vector<double>>& rows) override;
+  std::vector<double> score(const ml::Matrix& rows) override;
+  using core::OutlierDetector::score;
 
  private:
   std::size_t k_;
@@ -68,8 +69,8 @@ class MahalanobisDetector final : public core::OutlierDetector {
  public:
   explicit MahalanobisDetector(double ridge = 1e-3);
   std::string name() const override { return "mahalanobis"; }
-  std::vector<double> score(
-      const std::vector<std::vector<double>>& rows) override;
+  std::vector<double> score(const ml::Matrix& rows) override;
+  using core::OutlierDetector::score;
 
  private:
   double ridge_;

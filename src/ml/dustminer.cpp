@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/assert.hpp"
 
@@ -26,7 +27,10 @@ std::vector<std::vector<std::uint32_t>> code_object_sequences(
   std::vector<std::uint32_t> instr_to_object(trace.instr_table.size());
   std::vector<std::string> names;
   {
-    std::map<std::string, std::uint32_t> ids;
+    // First-appearance order comes from `names`, so a hash map (reserved
+    // to the table size) is enough for the id lookup.
+    std::unordered_map<std::string, std::uint32_t> ids;
+    ids.reserve(trace.instr_table.size());
     for (std::size_t i = 0; i < trace.instr_table.size(); ++i) {
       const std::string& object = trace.instr_table[i].code_object;
       auto [it, inserted] =

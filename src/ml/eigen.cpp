@@ -77,16 +77,18 @@ SymmetricEigen symmetric_eigen(const std::vector<double>& a, std::size_t n,
   return result;
 }
 
-std::vector<double> covariance_matrix(
-    const std::vector<std::vector<double>>& rows) {
-  std::size_t d = check_rectangular(rows);
-  auto n = static_cast<double>(rows.size());
+std::vector<double> covariance_matrix(const Matrix& rows) {
+  std::size_t d = check_matrix(rows);
+  auto n = static_cast<double>(rows.rows());
   std::vector<double> mean(d, 0.0);
-  for (const auto& row : rows)
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    std::span<const double> row = rows.row(r);
     for (std::size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
   for (double& m : mean) m /= n;
   std::vector<double> cov(d * d, 0.0);
-  for (const auto& row : rows) {
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    std::span<const double> row = rows.row(r);
     for (std::size_t i = 0; i < d; ++i) {
       double di = row[i] - mean[i];
       for (std::size_t j = i; j < d; ++j)
@@ -99,6 +101,11 @@ std::vector<double> covariance_matrix(
       cov[j * d + i] = cov[i * d + j];
     }
   return cov;
+}
+
+std::vector<double> covariance_matrix(
+    const std::vector<std::vector<double>>& rows) {
+  return covariance_matrix(Matrix::from_rows(rows));
 }
 
 }  // namespace sent::ml

@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "ml/matrix.hpp"
+
 namespace sent::ml {
 
 /// Dense row-major symmetric matrix.
@@ -22,8 +24,9 @@ SymmetricEigen symmetric_eigen(const std::vector<double>& a, std::size_t n,
                                double tol = 1e-12,
                                std::size_t max_sweeps = 64);
 
-/// Covariance matrix (row-major, d x d) of centred data. `rows` must be
-/// rectangular; uses the biased (1/n) normalizer.
+/// Covariance matrix (row-major, d x d) of centred data; uses the biased
+/// (1/n) normalizer.
+std::vector<double> covariance_matrix(const Matrix& rows);
 std::vector<double> covariance_matrix(
     const std::vector<std::vector<double>>& rows);
 

@@ -1,10 +1,12 @@
 #include "ml/kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "util/assert.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sent::ml {
 
@@ -31,6 +33,17 @@ double resolve_gamma(const KernelSpec& spec, std::size_t d) {
   return 1.0 / static_cast<double>(d);
 }
 
+double powi(double base, int exponent) {
+  if (exponent < 0) return std::pow(base, exponent);
+  double result = 1.0;
+  double square = base;
+  for (int e = exponent; e > 0; e >>= 1) {
+    if (e & 1) result *= square;
+    square *= square;
+  }
+  return result;
+}
+
 double kernel_eval(const KernelSpec& spec, double gamma,
                    std::span<const double> a, std::span<const double> b) {
   SENT_REQUIRE(a.size() == b.size());
@@ -46,10 +59,59 @@ double kernel_eval(const KernelSpec& spec, double gamma,
     case KernelType::Linear:
       return util::dot(a, b);
     case KernelType::Poly:
-      return std::pow(gamma * util::dot(a, b) + spec.coef0, spec.degree);
+      return powi(gamma * util::dot(a, b) + spec.coef0, spec.degree);
   }
   SENT_ASSERT_MSG(false, "unknown kernel type");
   return 0.0;
+}
+
+std::vector<double> row_squared_norms(const Matrix& x) {
+  std::vector<double> norms(x.rows());
+  const std::size_t d = x.cols();
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* xi = x.data() + i * d;
+    double n = 0.0;
+    for (std::size_t t = 0; t < d; ++t) n += xi[t] * xi[t];
+    norms[i] = n;
+  }
+  return norms;
+}
+
+double kernel_from_dot(const KernelSpec& spec, double gamma, double dot_ab,
+                       double norm_a, double norm_b) {
+  switch (spec.type) {
+    case KernelType::Rbf:
+      // |a-b|^2 = |a|^2 + |b|^2 - 2<a,b>; clamp the cancellation residue
+      // so near-duplicate rows cannot produce a (tiny) negative distance.
+      return std::exp(-gamma *
+                      std::max(norm_a + norm_b - 2.0 * dot_ab, 0.0));
+    case KernelType::Linear:
+      return dot_ab;
+    case KernelType::Poly:
+      return powi(gamma * dot_ab + spec.coef0, spec.degree);
+  }
+  SENT_ASSERT_MSG(false, "unknown kernel type");
+  return 0.0;
+}
+
+void build_kernel_matrix_reference(const KernelSpec& spec, double gamma,
+                                   const Matrix& x, util::ThreadPool* pool,
+                                   std::vector<double>& out) {
+  const std::size_t l = x.rows();
+  check_matrix(x);
+  out.resize(l * l);
+  auto row_task = [&](std::size_t i) {
+    for (std::size_t j = i; j < l; ++j) {
+      double v = kernel_eval(spec, gamma, x.row(i), x.row(j));
+      out[i * l + j] = v;
+      out[j * l + i] = v;
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(l, row_task);
+  } else {
+    for (std::size_t i = 0; i < l; ++i) row_task(i);
+  }
 }
 
 }  // namespace sent::ml

@@ -3,11 +3,28 @@
 // The RBF kernel is the paper's workhorse ("the kernel method can be
 // seamlessly applied ... it can find a nonlinear boundary"); linear and
 // polynomial kernels are provided for ablation.
+//
+// Two Gram-matrix builders are provided (DESIGN.md §10):
+//  - build_kernel_matrix: the optimized path. Caches per-row squared
+//    norms so RBF entries come from one dot product —
+//    K(i,j) = exp(-gamma (|xi|^2 + |xj|^2 - 2 <xi,xj>)) — and walks the
+//    upper triangle in cache-sized tiles, fanning tile-rows across an
+//    optional thread pool.
+//  - build_kernel_matrix_reference: the retained pre-optimization path
+//    (one kernel_eval call per entry), kept as the parity/benchmark
+//    baseline for the optimized build.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace sent::util {
+class ThreadPool;
+}
 
 namespace sent::ml {
 
@@ -33,5 +50,30 @@ double kernel_eval(const KernelSpec& spec, double gamma,
 
 /// Resolve the effective gamma for dimensionality d.
 double resolve_gamma(const KernelSpec& spec, std::size_t d);
+
+/// base^exponent by squaring for integral exponents >= 0 (the poly kernel
+/// calls this per element instead of std::pow).
+double powi(double base, int exponent);
+
+/// Squared Euclidean norm of every row of `x`.
+std::vector<double> row_squared_norms(const Matrix& x);
+
+/// Finish one kernel entry from a precomputed dot product and the two
+/// rows' squared norms (RBF uses the norms; linear/poly ignore them).
+double kernel_from_dot(const KernelSpec& spec, double gamma, double dot_ab,
+                       double norm_a, double norm_b);
+
+/// Dense symmetric l x l Gram matrix of `x` into `out` (resized), via the
+/// norm-cached blocked triangular build. `pool` may be nullptr (inline).
+void build_kernel_matrix(const KernelSpec& spec, double gamma,
+                         const Matrix& x, util::ThreadPool* pool,
+                         std::vector<double>& out);
+
+/// Retained reference build: one kernel_eval per upper-triangle entry,
+/// row-parallel across `pool` (nullptr = inline) — the pre-flat-layout
+/// hot path, kept for parity tests and the micro_perf baseline.
+void build_kernel_matrix_reference(const KernelSpec& spec, double gamma,
+                                   const Matrix& x, util::ThreadPool* pool,
+                                   std::vector<double>& out);
 
 }  // namespace sent::ml

@@ -15,13 +15,12 @@ KernelFisherDetector::KernelFisherDetector(KfdParams params)
   SENT_REQUIRE(params_.power_iterations >= 1);
 }
 
-std::vector<double> KernelFisherDetector::score(
-    const std::vector<std::vector<double>>& rows) {
-  const std::size_t d = check_rectangular(rows);
-  const std::size_t n = rows.size();
+std::vector<double> KernelFisherDetector::score(const ml::Matrix& rows) {
+  const std::size_t d = check_matrix(rows);
+  const std::size_t n = rows.rows();
   if (n == 1) return {0.0};
 
-  std::vector<std::vector<double>> z;
+  Matrix z;
   if (params_.standardize) {
     StandardScaler scaler;
     scaler.fit(rows);
@@ -31,14 +30,10 @@ std::vector<double> KernelFisherDetector::score(
   }
   double gamma = resolve_gamma(params_.kernel, d);
 
-  // Gram matrix, then double centring: Kc = K - 1K/n - K1/n + 11'K/n^2.
-  std::vector<double> k(n * n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = i; j < n; ++j) {
-      double v = kernel_eval(params_.kernel, gamma, z[i], z[j]);
-      k[i * n + j] = v;
-      k[j * n + i] = v;
-    }
+  // Gram matrix via the norm-cached blocked build, then double centring:
+  // Kc = K - 1K/n - K1/n + 11'K/n^2.
+  std::vector<double> k;
+  build_kernel_matrix(params_.kernel, gamma, z, nullptr, k);
   std::vector<double> row_mean(n, 0.0);
   double total_mean = 0.0;
   for (std::size_t i = 0; i < n; ++i) {

@@ -31,8 +31,8 @@ class KernelFisherDetector final : public core::OutlierDetector {
 
   std::string name() const override { return "oc-kfd"; }
 
-  std::vector<double> score(
-      const std::vector<std::vector<double>>& rows) override;
+  std::vector<double> score(const ml::Matrix& rows) override;
+  using core::OutlierDetector::score;
 
   /// Eigenvalues actually extracted on the last score() call (tests).
   const std::vector<double>& eigenvalues() const { return eigenvalues_; }

@@ -1,0 +1,120 @@
+// Contiguous row-major matrix — the ML data plane (DESIGN.md §10).
+//
+// Every detector, the scaler and the kernel builders operate on this flat
+// layout instead of std::vector<std::vector<double>>: one allocation, rows
+// adjacent in memory, and cheap std::span row views. That is what makes
+// the blocked kernel build cache-friendly and lets the featurizer fill
+// rows in place without a fresh allocation per interval.
+//
+// Header-only on purpose: sent_core consumes it (FeatureMatrix, the
+// OutlierDetector interface) without linking against sent_ml.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sent::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, filled with `value`. rows may be 0 (fixes the width for
+  /// later append_row / append_zero_row calls).
+  Matrix(std::size_t rows, std::size_t cols, double value = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  /// Copy a row-vector matrix into flat storage. Throws on ragged input.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows) {
+    Matrix m;
+    if (rows.empty()) return m;
+    m.cols_ = rows[0].size();
+    m.reserve_rows(rows.size());
+    for (const auto& row : rows) m.append_row(row);
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  std::span<const double> row(std::size_t i) const {
+    SENT_ASSERT(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<double> row(std::size_t i) {
+    SENT_ASSERT(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  /// Row i as an owned vector (tests / interop).
+  std::vector<double> row_vector(std::size_t i) const {
+    auto r = row(i);
+    return {r.begin(), r.end()};
+  }
+
+  double operator()(std::size_t i, std::size_t j) const {
+    SENT_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double& operator()(std::size_t i, std::size_t j) {
+    SENT_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  void reserve_rows(std::size_t n) { data_.reserve(n * cols_); }
+
+  /// Append a copy of `values`. The first append to a default-constructed
+  /// matrix fixes the column count.
+  void append_row(std::span<const double> values) {
+    if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+    SENT_REQUIRE_MSG(values.size() == cols_, "ragged feature matrix");
+    data_.insert(data_.end(), values.begin(), values.end());
+    ++rows_;
+  }
+
+  /// Append an all-zero row and return a writable view of it (in-place
+  /// featurization: no scratch row allocation per interval).
+  std::span<double> append_zero_row() {
+    data_.resize(data_.size() + cols_, 0.0);
+    ++rows_;
+    return row(rows_ - 1);
+  }
+
+  /// Append every row of `other` (column counts must match).
+  void append_rows(const Matrix& other) {
+    if (rows_ == 0 && cols_ == 0) cols_ = other.cols_;
+    SENT_REQUIRE_MSG(other.cols_ == cols_, "column counts differ");
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    rows_ += other.rows_;
+  }
+
+  /// Copy out as a row-vector matrix (interop with legacy callers).
+  std::vector<std::vector<double>> to_rows() const {
+    std::vector<std::vector<double>> out;
+    out.reserve(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) out.push_back(row_vector(i));
+    return out;
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Validate that `m` is non-empty with a positive width; returns the width.
+inline std::size_t check_matrix(const Matrix& m) {
+  SENT_REQUIRE_MSG(!m.empty(), "empty feature matrix");
+  SENT_REQUIRE_MSG(m.cols() > 0, "zero-dimensional feature matrix");
+  return m.cols();
+}
+
+}  // namespace sent::ml

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "ml/error.hpp"
 #include "util/assert.hpp"
@@ -19,46 +20,82 @@ OneClassSvm::OneClassSvm(OcsvmParams params) : params_(params) {
   SENT_REQUIRE_MSG(params_.nu > 0.0 && params_.nu <= 1.0,
                    "nu must be in (0, 1]");
   SENT_REQUIRE(params_.tol > 0.0);
+  // One pool for the detector's lifetime (kernel build + decision_batch);
+  // never constructed per call.
+  if (params_.pool == nullptr && params_.threads > 1)
+    owned_pool_ = std::make_unique<util::ThreadPool>(params_.threads);
+}
+
+OneClassSvm::~OneClassSvm() = default;
+OneClassSvm::OneClassSvm(OneClassSvm&&) noexcept = default;
+OneClassSvm& OneClassSvm::operator=(OneClassSvm&&) noexcept = default;
+
+util::ThreadPool* OneClassSvm::pool() const {
+  return params_.pool != nullptr ? params_.pool : owned_pool_.get();
 }
 
 std::string OneClassSvm::name() const {
   return "ocsvm-" + params_.kernel.to_string();
 }
 
-void OneClassSvm::fit(const std::vector<std::vector<double>>& rows) {
-  std::size_t d = check_rectangular(rows);
-  for (const auto& row : rows)
-    for (double v : row)
-      if (!std::isfinite(v))
-        throw TrainingError("non-finite value in feature matrix");
+void OneClassSvm::fit(const Matrix& rows) {
+  std::size_t d = check_matrix(rows);
+  const double* data = rows.data();
+  for (std::size_t i = 0, n = rows.rows() * d; i < n; ++i)
+    if (!std::isfinite(data[i]))
+      throw TrainingError("non-finite value in feature matrix");
+  Matrix train;
   if (params_.standardize) {
     scaler_.fit(rows);
-    train_ = scaler_.transform(rows);
+    train = scaler_.transform(rows);
   } else {
-    train_ = rows;
+    train = rows;
   }
   gamma_ = resolve_gamma(params_.kernel, d);
-  solve(train_);
+  dim_ = d;
+  solve(train);
+
+  // Compact the model to its support vectors so inference scales with the
+  // SV count. The reference path instead keeps the full training matrix
+  // and replays the pre-optimization decision sum.
+  sv_x_ = Matrix();
+  sv_alpha_.clear();
+  sv_norms_.clear();
+  train_full_ = Matrix();
+  if (params_.reference) {
+    train_full_ = std::move(train);
+  } else {
+    std::size_t nsv = 0;
+    for (double a : alpha_) nsv += a > kEps;
+    sv_x_ = Matrix(nsv, d);
+    sv_alpha_.reserve(nsv);
+    std::size_t s = 0;
+    for (std::size_t i = 0; i < alpha_.size(); ++i) {
+      if (alpha_[i] <= kEps) continue;
+      std::span<const double> src = train.row(i);
+      std::copy(src.begin(), src.end(), sv_x_.row(s).begin());
+      sv_alpha_.push_back(alpha_[i]);
+      ++s;
+    }
+    sv_norms_ = row_squared_norms(sv_x_);
+  }
+  fitted_ = true;
 }
 
-void OneClassSvm::solve(const std::vector<std::vector<double>>& x) {
-  const std::size_t l = x.size();
+void OneClassSvm::solve(const Matrix& x) {
+  const std::size_t l = x.rows();
   const double c = 1.0 / (params_.nu * static_cast<double>(l));
 
   // Dense kernel matrix. l is at most a few thousand in our experiments,
   // so O(l^2) memory is the simple and fast choice. The build is the
-  // O(l^2 d) hot path: rows of the symmetric upper triangle fan out across
-  // the pool. Entry (a, b) and its mirror are written only by the task for
-  // row min(a, b), so no two tasks ever write the same element.
-  std::vector<double> q(l * l);
-  util::ThreadPool pool(params_.threads);
-  pool.parallel_for(l, [&](std::size_t i) {
-    for (std::size_t j = i; j < l; ++j) {
-      double v = kernel_eval(params_.kernel, gamma_, x[i], x[j]);
-      q[i * l + j] = v;
-      q[j * l + i] = v;
-    }
-  });
+  // O(l^2 d) hot path; see kernel.cpp for the blocked norm-cached build
+  // and the retained per-element reference build.
+  std::vector<double> q;
+  if (params_.reference) {
+    build_kernel_matrix_reference(params_.kernel, gamma_, x, pool(), q);
+  } else {
+    build_kernel_matrix(params_.kernel, gamma_, x, pool(), q);
+  }
 
   // LIBSVM-style feasible start: the first floor(nu*l) points at the upper
   // bound, one fractional point, the rest at zero; sum = 1.
@@ -85,6 +122,49 @@ void OneClassSvm::solve(const std::vector<std::vector<double>>& x) {
 
   converged_ = false;
   iterations_ = 0;
+  if (params_.reference) {
+    smo_reference(q, l, c, g);
+  } else {
+    smo_optimized(q, l, c, g);
+  }
+
+  // rho: G_i == rho on free support vectors; otherwise bracket between the
+  // bound groups.
+  double free_sum = 0.0;
+  std::size_t free_count = 0;
+  double ub = std::numeric_limits<double>::infinity();   // min G over a=0
+  double lb = -std::numeric_limits<double>::infinity();  // max G over a=C
+  for (std::size_t t = 0; t < l; ++t) {
+    if (alpha_[t] > kEps && alpha_[t] < c - kEps) {
+      free_sum += g[t];
+      ++free_count;
+    } else if (alpha_[t] <= kEps) {
+      ub = std::min(ub, g[t]);
+    } else {
+      lb = std::max(lb, g[t]);
+    }
+  }
+  if (free_count > 0) {
+    rho_ = free_sum / static_cast<double>(free_count);
+  } else if (std::isfinite(ub) && std::isfinite(lb)) {
+    rho_ = (ub + lb) / 2.0;
+  } else if (std::isfinite(lb)) {
+    rho_ = lb;
+  } else {
+    rho_ = std::isfinite(ub) ? ub : 0.0;
+  }
+
+  // Training decision values come straight from the gradient: f(x_i) =
+  // (Q alpha)_i - rho = G_i - rho.
+  train_decision_.resize(l);
+  for (std::size_t t = 0; t < l; ++t) train_decision_[t] = g[t] - rho_;
+}
+
+// The retained pre-optimization loop: first-order maximal-violating-pair
+// selection over all l variables every iteration. Kept bit-identical to
+// the original solver for parity tests and benchmark baselines.
+void OneClassSvm::smo_reference(const std::vector<double>& q, std::size_t l,
+                                double c, std::vector<double>& g) {
   while (iterations_ < params_.max_iter) {
     // Maximal violating pair: i can grow (alpha_i < C) with minimal G;
     // j can shrink (alpha_j > 0) with maximal G.
@@ -124,59 +204,193 @@ void OneClassSvm::solve(const std::vector<std::vector<double>>& x) {
       g[t] += step * (q_up[t] - q_low[t]);
     ++iterations_;
   }
-
-  // rho: G_i == rho on free support vectors; otherwise bracket between the
-  // bound groups.
-  double free_sum = 0.0;
-  std::size_t free_count = 0;
-  double ub = std::numeric_limits<double>::infinity();   // min G over a=0
-  double lb = -std::numeric_limits<double>::infinity();  // max G over a=C
-  for (std::size_t t = 0; t < l; ++t) {
-    if (alpha_[t] > kEps && alpha_[t] < c - kEps) {
-      free_sum += g[t];
-      ++free_count;
-    } else if (alpha_[t] <= kEps) {
-      ub = std::min(ub, g[t]);
-    } else {
-      lb = std::max(lb, g[t]);
-    }
-  }
-  if (free_count > 0) {
-    rho_ = free_sum / static_cast<double>(free_count);
-  } else if (std::isfinite(ub) && std::isfinite(lb)) {
-    rho_ = (ub + lb) / 2.0;
-  } else if (std::isfinite(lb)) {
-    rho_ = lb;
-  } else {
-    rho_ = std::isfinite(ub) ? ub : 0.0;
-  }
-
-  // Training decision values come straight from the gradient: f(x_i) =
-  // (Q alpha)_i - rho = G_i - rho.
-  train_decision_.resize(l);
-  for (std::size_t t = 0; t < l; ++t) train_decision_[t] = g[t] - rho_;
 }
 
-double OneClassSvm::decision(const std::vector<double>& x) const {
-  SENT_REQUIRE_MSG(fitted(), "decision() before fit()");
-  std::vector<double> z =
-      params_.standardize ? scaler_.transform(x) : x;
-  SENT_REQUIRE(z.size() == train_[0].size());
+// Second-order (WSS2) working-set selection with shrinking, following
+// LIBSVM's one-class solver. The active set is a plain index list;
+// gradients of shrunk variables go stale and are reconstructed from
+// Q alpha (support vectors only) before any full-set decision.
+void OneClassSvm::smo_optimized(const std::vector<double>& q, std::size_t l,
+                                double c, std::vector<double>& g) {
+  std::vector<std::size_t> active(l);
+  std::iota(active.begin(), active.end(), std::size_t{0});
+  const std::size_t shrink_interval = std::min<std::size_t>(l, 1000);
+  std::size_t counter = shrink_interval;
+  bool unshrunk = false;
+
+  auto reconstruct_gradient = [&]() {
+    if (active.size() == l) return;
+    std::vector<char> is_active(l, 0);
+    for (std::size_t t : active) is_active[t] = 1;
+    for (std::size_t t = 0; t < l; ++t) {
+      if (is_active[t]) continue;
+      const double* qt = &q[t * l];
+      double sum = 0.0;
+      for (std::size_t j = 0; j < l; ++j)
+        if (alpha_[j] > kEps) sum += alpha_[j] * qt[j];
+      g[t] = sum;
+    }
+  };
+
+  auto activate_all = [&]() {
+    active.resize(l);
+    std::iota(active.begin(), active.end(), std::size_t{0});
+  };
+
+  auto do_shrinking = [&]() {
+    double g_up = std::numeric_limits<double>::infinity();
+    double g_low = -std::numeric_limits<double>::infinity();
+    for (std::size_t t : active) {
+      if (alpha_[t] < c - kEps) g_up = std::min(g_up, g[t]);
+      if (alpha_[t] > kEps) g_low = std::max(g_low, g[t]);
+    }
+    // One aggressive unshrink near convergence (LIBSVM rule): restore and
+    // re-evaluate everything once the active violation is within 10*tol.
+    if (!unshrunk && g_low - g_up <= params_.tol * 10) {
+      unshrunk = true;
+      reconstruct_gradient();
+      activate_all();
+    }
+    // A variable at a bound whose gradient cannot re-enter the violating
+    // pair is dropped from the working set until the final re-check.
+    std::size_t kept = 0;
+    for (std::size_t t : active) {
+      bool shrink = false;
+      if (alpha_[t] >= c - kEps) {
+        shrink = g[t] < g_up;
+      } else if (alpha_[t] <= kEps) {
+        shrink = g[t] > g_low;
+      }
+      if (!shrink) active[kept++] = t;
+    }
+    active.resize(kept);
+    if (active.empty()) activate_all();
+  };
+
+  while (iterations_ < params_.max_iter) {
+    if (counter-- == 0) {
+      counter = shrink_interval;
+      if (params_.shrinking) do_shrinking();
+    }
+
+    // First-order choice of the up candidate; g_low only for stopping.
+    std::size_t up = l;
+    double g_up = std::numeric_limits<double>::infinity();
+    double g_low = -std::numeric_limits<double>::infinity();
+    for (std::size_t t : active) {
+      if (alpha_[t] < c - kEps && g[t] < g_up) {
+        g_up = g[t];
+        up = t;
+      }
+      if (alpha_[t] > kEps && g[t] > g_low) g_low = std::max(g_low, g[t]);
+    }
+    if (up == l || g_low - g_up < params_.tol) {
+      if (active.size() == l) {
+        converged_ = true;
+        break;
+      }
+      // Converged on the shrunk set only: restore the full problem and
+      // re-run the check. converged_ is never set from a partial set.
+      reconstruct_gradient();
+      activate_all();
+      counter = 1;
+      continue;
+    }
+
+    // Second-order choice of the down candidate: maximize the quadratic
+    // objective gain (g_t - g_up)^2 / (Q_uu + Q_tt - 2 Q_ut) over
+    // violating down-able variables.
+    const double* q_up_row = &q[up * l];
+    const double q_uu = q_up_row[up];
+    std::size_t low = l;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (std::size_t t : active) {
+      if (alpha_[t] <= kEps) continue;
+      const double grad_diff = g[t] - g_up;
+      if (grad_diff <= 0.0) continue;
+      double quad = q_uu + q[t * l + t] - 2.0 * q_up_row[t];
+      if (quad <= 0.0) quad = kTau;
+      const double gain = grad_diff * grad_diff / quad;
+      if (gain > best_gain) {
+        best_gain = gain;
+        low = t;
+      }
+    }
+    SENT_ASSERT_MSG(low != l, "WSS2 found no violating down candidate");
+
+    double denom = q_uu + q[low * l + low] - 2.0 * q_up_row[low];
+    double step = (g[low] - g[up]) / std::max(denom, kTau);
+    step = std::min(step, c - alpha_[up]);
+    step = std::min(step, alpha_[low]);
+    if (!(step > 0.0))
+      throw TrainingError(
+          "pair update stalled (step " + std::to_string(step) +
+          " at iteration " + std::to_string(iterations_) +
+          "): violating pair selected but no feasible progress");
+    alpha_[up] += step;
+    alpha_[low] -= step;
+
+    const double* q_low_row = &q[low * l];
+    for (std::size_t t : active)
+      g[t] += step * (q_up_row[t] - q_low_row[t]);
+    ++iterations_;
+  }
+
+  // max_iter exit while shrunk: stale gradients would corrupt rho and the
+  // training decisions, so reconstruct before returning.
+  if (active.size() < l) reconstruct_gradient();
+}
+
+double OneClassSvm::decision_scaled(std::span<const double> z) const {
+  if (params_.reference) {
+    // Pre-optimization sum over the full training set (alpha==0 skipped),
+    // one kernel_eval per retained row.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < train_full_.rows(); ++i) {
+      if (alpha_[i] <= kEps) continue;
+      sum += alpha_[i] *
+             kernel_eval(params_.kernel, gamma_, train_full_.row(i), z);
+    }
+    return sum - rho_;
+  }
+  const std::size_t d = z.size();
+  double nz = 0.0;
+  for (double v : z) nz += v * v;
   double sum = 0.0;
-  for (std::size_t i = 0; i < train_.size(); ++i) {
-    if (alpha_[i] <= kEps) continue;
-    sum += alpha_[i] * kernel_eval(params_.kernel, gamma_, train_[i], z);
+  const double* base = sv_x_.data();
+  for (std::size_t s = 0; s < sv_alpha_.size(); ++s) {
+    const double* xs = base + s * d;
+    double dot_ab = 0.0;
+    for (std::size_t t = 0; t < d; ++t) dot_ab += xs[t] * z[t];
+    sum += sv_alpha_[s] *
+           kernel_from_dot(params_.kernel, gamma_, dot_ab, sv_norms_[s], nz);
   }
   return sum - rho_;
 }
 
-std::vector<double> OneClassSvm::decision_batch(
-    const std::vector<std::vector<double>>& rows) const {
+double OneClassSvm::decision(std::span<const double> x) const {
+  SENT_REQUIRE_MSG(fitted(), "decision() before fit()");
+  SENT_REQUIRE(x.size() == dim_);
+  if (!params_.standardize) return decision_scaled(x);
+  std::vector<double> z(dim_);
+  scaler_.transform_row(x, z);
+  return decision_scaled(z);
+}
+
+std::vector<double> OneClassSvm::decision_batch(const Matrix& rows) const {
   SENT_REQUIRE_MSG(fitted(), "decision_batch() before fit()");
-  std::vector<double> out(rows.size());
-  util::ThreadPool pool(params_.threads);
-  pool.parallel_for(rows.size(),
-                    [&](std::size_t i) { out[i] = decision(rows[i]); });
+  SENT_REQUIRE(rows.empty() || rows.cols() == dim_);
+  // Standardize the whole batch once; per-query work is then just the
+  // compact SV sum.
+  Matrix z = params_.standardize ? scaler_.transform(rows) : rows;
+  std::vector<double> out(z.rows());
+  auto task = [&](std::size_t i) { out[i] = decision_scaled(z.row(i)); };
+  util::ThreadPool* p = pool();
+  if (p != nullptr) {
+    p->parallel_for(z.rows(), task);
+  } else {
+    for (std::size_t i = 0; i < z.rows(); ++i) task(i);
+  }
   return out;
 }
 
@@ -186,8 +400,7 @@ std::size_t OneClassSvm::support_vector_count() const {
   return n;
 }
 
-std::vector<double> OneClassSvm::score(
-    const std::vector<std::vector<double>>& rows) {
+std::vector<double> OneClassSvm::score(const ml::Matrix& rows) {
   fit(rows);
   return train_decision_;
 }

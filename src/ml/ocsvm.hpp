@@ -1,7 +1,7 @@
 // One-class SVM (Schölkopf et al., "Estimating the support of a
 // high-dimensional distribution", Neural Computation 13(7), 2001) — the
-// paper's outlier detector, solved from scratch with an SMO-style
-// maximal-violating-pair algorithm (the same dual LIBSVM solves):
+// paper's outlier detector, solved from scratch with an SMO algorithm (the
+// same dual LIBSVM solves):
 //
 //     min_a  1/2 aᵀQa    s.t.  0 <= a_i <= 1/(nu*l),  sum a_i = 1
 //
@@ -12,14 +12,30 @@
 // positive inside the estimated support (normal side), negative outside.
 // nu upper-bounds the fraction of training points scored as outliers and
 // lower-bounds the fraction of support vectors.
+//
+// The default solver uses second-order working-set selection (LIBSVM's
+// WSS2) with shrinking of bound variables; convergence is only declared
+// when the maximal KKT violation over the FULL variable set drops below
+// tol, so shrinking never changes the stopping criterion (DESIGN.md §10).
+// After fit the model is compacted to its support vectors, so decision()
+// and decision_batch() scale with the SV count, not the training size.
+// OcsvmParams::reference = true retains the pre-optimization path
+// (per-element kernel build, first-order maximal-violating-pair SMO,
+// full-training-set decision sums) for parity tests and benchmarks.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/detector.hpp"
 #include "ml/kernel.hpp"
+#include "ml/matrix.hpp"
 #include "ml/scaler.hpp"
+
+namespace sent::util {
+class ThreadPool;
+}
 
 namespace sent::ml {
 
@@ -27,38 +43,73 @@ struct OcsvmParams {
   double nu = 0.05;
   KernelSpec kernel{};
   bool standardize = true;
-  double tol = 1e-6;          ///< KKT violation tolerance
+  /// KKT violation tolerance. Sentomist features are heavily duplicated
+  /// (most intervals share identical instruction counts), which makes the
+  /// dual near-degenerate: decision values of non-support rows land at the
+  /// same magnitude as the solver residual. 1e-8 keeps those values above
+  /// the convergence noise so ranking ties break on data, not solver path.
+  double tol = 1e-8;
   std::size_t max_iter = 200000;
+
   /// Worker threads for the kernel-matrix build and decision_batch().
   /// <= 1 runs inline. Every kernel entry is computed independently, so
-  /// results are bit-identical for any thread count.
+  /// results are bit-identical for any thread count. Ignored when `pool`
+  /// is set.
   std::size_t threads = 1;
+
+  /// Borrowed pool to use instead of constructing one. When null and
+  /// threads > 1, the detector constructs one pool at creation time and
+  /// reuses it for every fit/decision_batch call (never per call).
+  util::ThreadPool* pool = nullptr;
+
+  /// Shrink bound variables out of the SMO working set (optimized solver
+  /// only). Convergence is always re-validated on the full set.
+  bool shrinking = true;
+
+  /// Run the retained pre-optimization path end to end: per-element Gram
+  /// build, first-order pair selection, no shrinking, decision sums over
+  /// the full training set. Kept for parity tests and as the micro_perf
+  /// baseline.
+  bool reference = false;
 };
 
 class OneClassSvm final : public core::OutlierDetector {
  public:
   explicit OneClassSvm(OcsvmParams params = {});
+  ~OneClassSvm() override;
+
+  OneClassSvm(OneClassSvm&&) noexcept;
+  OneClassSvm& operator=(OneClassSvm&&) noexcept;
 
   std::string name() const override;
 
   /// Transductive use (as in the paper): fit on all intervals' features
   /// and score those same rows. Lower = more suspicious.
-  std::vector<double> score(
-      const std::vector<std::vector<double>>& rows) override;
+  std::vector<double> score(const ml::Matrix& rows) override;
+  using core::OutlierDetector::score;
 
   // --- inductive API -----------------------------------------------------
 
-  void fit(const std::vector<std::vector<double>>& rows);
-  bool fitted() const { return !train_.empty(); }
+  void fit(const Matrix& rows);
+  void fit(const std::vector<std::vector<double>>& rows) {
+    fit(Matrix::from_rows(rows));
+  }
+  bool fitted() const { return fitted_; }
 
-  /// Signed distance f(x) for a new point.
-  double decision(const std::vector<double>& x) const;
+  /// Signed distance f(x) for a new point (unscaled feature space).
+  double decision(std::span<const double> x) const;
+  double decision(const std::vector<double>& x) const {
+    return decision(std::span<const double>(x));
+  }
 
-  /// decision() for a batch of points, evaluated across params.threads
-  /// workers (rows are independent). Same values as calling decision()
-  /// per row.
+  /// decision() for a batch of points. The batch is standardized once and
+  /// rows fan out across the configured pool (rows are independent), so
+  /// values match calling decision() per row.
+  std::vector<double> decision_batch(const Matrix& rows) const;
   std::vector<double> decision_batch(
-      const std::vector<std::vector<double>>& rows) const;
+      const std::vector<std::vector<double>>& rows) const {
+    return decision_batch(Matrix::from_rows(rows));
+  }
 
   double rho() const { return rho_; }
   /// Dual variables after fit (one per training row; sums to 1).
@@ -69,16 +120,34 @@ class OneClassSvm final : public core::OutlierDetector {
 
  private:
   OcsvmParams params_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
   StandardScaler scaler_;
-  std::vector<std::vector<double>> train_;  ///< scaled training rows
+
+  // Compact model (optimized path): support vectors only.
+  Matrix sv_x_;
+  std::vector<double> sv_alpha_;
+  std::vector<double> sv_norms_;
+
+  // Reference path keeps the full scaled training matrix so decision()
+  // reproduces the pre-optimization sum (including its alpha==0 skips).
+  Matrix train_full_;
+
   std::vector<double> alpha_;
   std::vector<double> train_decision_;  ///< f(x_i) for the training rows
   double rho_ = 0.0;
   double gamma_ = 0.0;
+  std::size_t dim_ = 0;
   std::size_t iterations_ = 0;
   bool converged_ = false;
+  bool fitted_ = false;
 
-  void solve(const std::vector<std::vector<double>>& x);
+  util::ThreadPool* pool() const;
+  void solve(const Matrix& x);
+  void smo_reference(const std::vector<double>& q, std::size_t l, double c,
+                     std::vector<double>& g);
+  void smo_optimized(const std::vector<double>& q, std::size_t l, double c,
+                     std::vector<double>& g);
+  double decision_scaled(std::span<const double> z) const;
 };
 
 }  // namespace sent::ml

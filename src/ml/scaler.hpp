@@ -4,16 +4,29 @@
 // loop instruction vs a rare branch); every kernel/distance-based detector
 // here standardizes first. Zero-variance columns are left centred with
 // scale 1 so constant instructions contribute nothing.
+//
+// The primary API operates on the flat ml::Matrix; the row-vector
+// overloads are thin adapters for legacy callers.
 #pragma once
 
+#include <span>
 #include <vector>
+
+#include "ml/matrix.hpp"
 
 namespace sent::ml {
 
 class StandardScaler {
  public:
-  void fit(const std::vector<std::vector<double>>& rows);
+  void fit(const Matrix& rows);
+  void fit(const std::vector<std::vector<double>>& rows) {
+    fit(Matrix::from_rows(rows));
+  }
 
+  /// Standardize one row into `out` (both must have the fitted width).
+  void transform_row(std::span<const double> in, std::span<double> out) const;
+
+  Matrix transform(const Matrix& rows) const;
   std::vector<double> transform(const std::vector<double>& row) const;
   std::vector<std::vector<double>> transform(
       const std::vector<std::vector<double>>& rows) const;
@@ -26,8 +39,5 @@ class StandardScaler {
   std::vector<double> mean_;
   std::vector<double> scale_;
 };
-
-/// Validate that `rows` is non-empty and rectangular; returns the width.
-std::size_t check_rectangular(const std::vector<std::vector<double>>& rows);
 
 }  // namespace sent::ml

@@ -88,20 +88,24 @@ std::string render_interval_detail(const trace::NodeTrace& trace,
     os << "          ... (" << rows - max_timeline_rows
        << " more items elided)\n";
 
-  if (!report.features.rows.empty() && max_deviations > 0) {
+  if (!report.features.empty() && max_deviations > 0) {
     // Deviation of this interval's counter from the population mean, in
     // population standard deviations.
-    const auto& rows_all = report.features.rows;
-    const auto& row = rows_all[entry.sample_index];
+    const std::size_t n = report.features.size();
+    std::span<const double> row = report.features.row(entry.sample_index);
     std::size_t d = report.features.dim();
     std::vector<double> mean(d, 0.0), sd(d, 0.0);
-    for (const auto& r : rows_all)
-      for (std::size_t j = 0; j < d; ++j) mean[j] += r[j];
-    for (double& m : mean) m /= double(rows_all.size());
-    for (const auto& r : rows_all)
+    for (std::size_t r = 0; r < n; ++r) {
+      std::span<const double> fr = report.features.row(r);
+      for (std::size_t j = 0; j < d; ++j) mean[j] += fr[j];
+    }
+    for (double& m : mean) m /= double(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      std::span<const double> fr = report.features.row(r);
       for (std::size_t j = 0; j < d; ++j)
-        sd[j] += (r[j] - mean[j]) * (r[j] - mean[j]);
-    for (double& s : sd) s = std::sqrt(s / double(rows_all.size()));
+        sd[j] += (fr[j] - mean[j]) * (fr[j] - mean[j]);
+    }
+    for (double& s : sd) s = std::sqrt(s / double(n));
 
     std::vector<std::size_t> order(d);
     for (std::size_t j = 0; j < d; ++j) order[j] = j;

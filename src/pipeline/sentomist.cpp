@@ -46,6 +46,13 @@ std::shared_ptr<core::OutlierDetector> default_detector(
   return std::make_shared<ml::OneClassSvm>(params);
 }
 
+std::shared_ptr<core::OutlierDetector> default_detector(
+    util::ThreadPool& pool) {
+  ml::OcsvmParams params;
+  params.pool = &pool;
+  return std::make_shared<ml::OneClassSvm>(params);
+}
+
 namespace {
 
 core::FeatureMatrix featurize(const trace::NodeTrace& trace,
@@ -117,18 +124,20 @@ AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
                        << int(line) << " in the given traces");
 
   std::shared_ptr<core::OutlierDetector> detector =
-      options.detector ? options.detector : default_detector();
+      options.detector   ? options.detector
+      : options.pool     ? default_detector(*options.pool)
+                         : default_detector();
   report.detector_name = detector->name();
   report.feature_dim = matrix.dim();
 
   try {
-    report.scores = detector->score(matrix.rows);
+    report.scores = detector->score(matrix.values);
   } catch (const ml::TrainingError& e) {
     // Degrade instead of dying: the k-NN distance detector has no training
     // phase and handles any finite matrix, so a run whose features broke
     // the SVM still yields a (coarser) ranking. The report says so.
     ml::KnnDetector fallback;
-    report.scores = fallback.score(matrix.rows);
+    report.scores = fallback.score(matrix.values);
     report.detector_name = fallback.name() + " (fallback)";
     report.degraded = true;
     report.degradation = e.what();
@@ -146,7 +155,7 @@ AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
 
 core::Localization localize_top_k(const AnalysisReport& report,
                                   std::size_t k) {
-  SENT_REQUIRE_MSG(!report.features.rows.empty(),
+  SENT_REQUIRE_MSG(!report.features.empty(),
                    "localize_top_k needs keep_features = true");
   return core::localize(report.features,
                         core::lowest_k(report.scores, k));

@@ -25,6 +25,10 @@
 #include "core/localizer.hpp"
 #include "trace/recorder.hpp"
 
+namespace sent::util {
+class ThreadPool;
+}
+
 namespace sent::pipeline {
 
 /// One interval-sample with provenance.
@@ -57,6 +61,9 @@ struct AnalysisOptions {
   bool drop_truncated = false;
   /// Keep the feature matrix on the report (needed for localize_top_k).
   bool keep_features = false;
+  /// Borrowed pool for the default detector's kernel build and batch
+  /// scoring (ignored when `detector` is set). nullptr runs inline.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct RankedEntry {
@@ -107,9 +114,14 @@ std::string format_ranking_table(const AnalysisReport& report,
 std::shared_ptr<core::OutlierDetector> default_detector();
 
 /// Default detector with its kernel-matrix build spread over `threads`
-/// pool workers (scores are identical for any thread count).
+/// pool workers (scores are identical for any thread count). The pool is
+/// constructed once inside the detector, not per call.
 std::shared_ptr<core::OutlierDetector> default_detector(
     std::size_t threads);
+
+/// Default detector sharing a caller-owned pool (no pool construction).
+std::shared_ptr<core::OutlierDetector> default_detector(
+    util::ThreadPool& pool);
 
 /// Bug localization (paper §VII): contrast the k most suspicious intervals
 /// against the rest and rank static instructions / code objects by how

@@ -409,9 +409,9 @@ TEST(Features, InstructionCounterCountsWindowInclusive) {
   FeatureMatrix m = instruction_counters(t, intervals);
   ASSERT_EQ(m.dim(), 3u);
   ASSERT_EQ(m.size(), 3u);
-  EXPECT_EQ(m.rows[0], (std::vector<double>{1, 1, 1}));  // cycles 10..20
-  EXPECT_EQ(m.rows[1], (std::vector<double>{1, 1, 1}));  // cycles 21..100
-  EXPECT_EQ(m.rows[2], (std::vector<double>{0, 0, 0}));  // before anything
+  EXPECT_EQ(m.values.row_vector(0), (std::vector<double>{1, 1, 1}));  // cycles 10..20
+  EXPECT_EQ(m.values.row_vector(1), (std::vector<double>{1, 1, 1}));  // cycles 21..100
+  EXPECT_EQ(m.values.row_vector(2), (std::vector<double>{0, 0, 0}));  // before anything
   EXPECT_EQ(m.names[0], "handler/a");
   EXPECT_EQ(m.names[2], "task/c");
 }
@@ -420,7 +420,7 @@ TEST(Features, InstructionCounterOverlapCountsDouble) {
   NodeTrace t = feature_trace();
   std::vector<EventInterval> intervals{window(0, 100)};
   FeatureMatrix m = instruction_counters(t, intervals);
-  EXPECT_EQ(m.rows[0], (std::vector<double>{2, 2, 2}));
+  EXPECT_EQ(m.values.row_vector(0), (std::vector<double>{2, 2, 2}));
 }
 
 TEST(Features, CoarseFeatures) {
@@ -430,11 +430,11 @@ TEST(Features, CoarseFeatures) {
   std::vector<EventInterval> intervals{i};
   FeatureMatrix m = coarse_features(t, intervals);
   ASSERT_EQ(m.dim(), 5u);
-  EXPECT_EQ(m.rows[0][0], 100.0);  // duration
-  EXPECT_EQ(m.rows[0][1], 6.0);    // executed instructions
-  EXPECT_EQ(m.rows[0][2], 1.0);    // task count
-  EXPECT_EQ(m.rows[0][3], 1.0);    // posts within item range
-  EXPECT_EQ(m.rows[0][4], 1.0);    // ints within item range
+  EXPECT_EQ(m.values(0, 0), 100.0);  // duration
+  EXPECT_EQ(m.values(0, 1), 6.0);    // executed instructions
+  EXPECT_EQ(m.values(0, 2), 1.0);    // task count
+  EXPECT_EQ(m.values(0, 3), 1.0);    // posts within item range
+  EXPECT_EQ(m.values(0, 4), 1.0);    // ints within item range
 }
 
 TEST(Features, CodeObjectCountersAggregate) {
@@ -444,7 +444,7 @@ TEST(Features, CodeObjectCountersAggregate) {
   ASSERT_EQ(m.dim(), 2u);
   EXPECT_EQ(m.names[0], "handler");
   EXPECT_EQ(m.names[1], "task");
-  EXPECT_EQ(m.rows[0], (std::vector<double>{4, 2}));
+  EXPECT_EQ(m.values.row_vector(0), (std::vector<double>{4, 2}));
 }
 
 TEST(Features, AppendRowsRequiresMatchingColumns) {

@@ -68,9 +68,9 @@ void check_trace_invariants(const trace::NodeTrace& t,
   // by the trace's total executions.
   if (!t.instr_table.empty() && !all.empty()) {
     core::FeatureMatrix m = core::instruction_counters(t, all);
-    for (const auto& row : m.rows) {
+    for (std::size_t r = 0; r < m.size(); ++r) {
       double total = 0;
-      for (double v : row) {
+      for (double v : m.row(r)) {
         ASSERT_GE(v, 0.0);
         total += v;
       }

@@ -12,7 +12,8 @@ FeatureMatrix tiny_matrix() {
   FeatureMatrix m;
   m.names = {"f/alpha", "f/beta", "g/gamma"};
   // Rows 0-3 normal; row 4 differs strongly on column 1 (f/beta).
-  m.rows = {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 4}, {1, 9, 3}};
+  m.values = ml::Matrix::from_rows(
+      {{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 4}, {1, 9, 3}});
   return m;
 }
 

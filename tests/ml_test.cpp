@@ -71,7 +71,7 @@ TEST(Scaler, StandardizesColumns) {
 
 TEST(Scaler, Validation) {
   StandardScaler s;
-  EXPECT_THROW(s.fit({}), util::PreconditionError);
+  EXPECT_THROW(s.fit(Matrix{}), util::PreconditionError);
   EXPECT_THROW(s.fit({{1.0}, {1.0, 2.0}}), util::PreconditionError);
   s.fit({{1.0, 2.0}});
   EXPECT_THROW(s.transform(std::vector<double>{1.0}),
@@ -240,7 +240,7 @@ TEST(Ocsvm, ParamValidation) {
   EXPECT_THROW(OneClassSvm{bad}, util::PreconditionError);
   OneClassSvm svm;
   EXPECT_THROW(svm.decision({1.0}), util::PreconditionError);
-  EXPECT_THROW(svm.score({}), util::PreconditionError);
+  EXPECT_THROW(svm.score(Matrix{}), util::PreconditionError);
 }
 
 TEST(Ocsvm, LinearKernelAlsoWorks) {

@@ -6,11 +6,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "apps/scenarios.hpp"
 #include "core/detector.hpp"
 #include "ml/kernel.hpp"
 #include "ml/ocsvm.hpp"
 #include "ml/scaler.hpp"
+#include "pipeline/sentomist.hpp"
 #include "util/rng.hpp"
 
 namespace sent::ml {
@@ -202,6 +205,162 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(std::size_t{25}, 0.2),
                       std::make_tuple(std::size_t{40}, 0.1),
                       std::make_tuple(std::size_t{60}, 0.15)));
+
+// ---- Optimized path vs retained reference path -----------------------------
+//
+// OcsvmParams::reference replays the pre-optimization code end to end
+// (per-element Gram build, first-order pair selection, full-training-set
+// decision sums). The optimized path (norm-cached blocked Gram, WSS2 +
+// shrinking, compact-SV decision) must land on the same solution: at a
+// tight tolerance the dual is solved to well below the comparison
+// threshold, so alpha, rho and every decision value agree to 1e-9.
+
+Matrix random_training_matrix(std::size_t l, std::size_t d,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix x(l, d);
+  for (std::size_t i = 0; i < l; ++i)
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.normal();
+  return x;
+}
+
+class FlatVsReference
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(FlatVsReference, AlphaRhoAndDecisionsAgree) {
+  auto [l, d] = GetParam();
+  Matrix x = random_training_matrix(l, d, 0x5e11 + l * 31 + d);
+
+  OcsvmParams params;
+  params.nu = 0.1;
+  params.tol = 1e-12;
+
+  params.reference = true;
+  OneClassSvm ref(params);
+  ref.fit(x);
+  ASSERT_TRUE(ref.converged());
+
+  params.reference = false;
+  OneClassSvm opt(params);
+  opt.fit(x);
+  ASSERT_TRUE(opt.converged());
+
+  ASSERT_EQ(ref.alpha().size(), opt.alpha().size());
+  for (std::size_t i = 0; i < l; ++i)
+    EXPECT_NEAR(ref.alpha()[i], opt.alpha()[i], 1e-9) << "alpha[" << i << "]";
+  EXPECT_NEAR(ref.rho(), opt.rho(), 1e-9);
+
+  // Decisions on the training rows and on unseen queries: the compact-SV
+  // evaluation must match the full-training-set sums.
+  Matrix queries = random_training_matrix(32, d, 0xab + d);
+  std::vector<double> ref_train = ref.decision_batch(x);
+  std::vector<double> opt_train = opt.decision_batch(x);
+  std::vector<double> ref_query = ref.decision_batch(queries);
+  std::vector<double> opt_query = opt.decision_batch(queries);
+  for (std::size_t i = 0; i < l; ++i)
+    EXPECT_NEAR(ref_train[i], opt_train[i], 1e-9) << "train row " << i;
+  for (std::size_t i = 0; i < queries.rows(); ++i)
+    EXPECT_NEAR(ref_query[i], opt_query[i], 1e-9) << "query row " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FlatVsReference,
+    ::testing::Values(std::make_tuple(std::size_t{60}, std::size_t{6}),
+                      std::make_tuple(std::size_t{120}, std::size_t{10}),
+                      std::make_tuple(std::size_t{200}, std::size_t{17})));
+
+// Figure 5(a) end to end: the ranking table must be identical whether the
+// detector runs the reference or the optimized path — up to numerical
+// ties. Many intervals share identical (or symmetric) feature rows, so
+// their decision values coincide in exact arithmetic; their relative order
+// then depends on floating-point summation order and is interchangeable.
+// Every pair separated beyond the noise band must rank identically.
+TEST(FlatVsReferencePipeline, Fig5aRankingOrderIdentical) {
+  apps::Case1Config config;
+  config.seed = 11;
+  config.sample_periods_ms = {20, 60};
+  config.run_seconds = 5.0;
+  apps::Case1Result r = apps::run_case1(config);
+
+  std::vector<pipeline::TaggedTrace> traces;
+  for (std::size_t i = 0; i < r.runs.size(); ++i)
+    traces.push_back({&r.runs[i].sensor_trace, i});
+
+  auto ranking_with = [&](bool reference) {
+    OcsvmParams params;
+    params.reference = reference;
+    pipeline::AnalysisOptions options;
+    options.detector = std::make_shared<OneClassSvm>(params);
+    pipeline::AnalysisReport report =
+        pipeline::analyze(traces, os::irq::kAdc, options);
+    return report.ranking;
+  };
+
+  auto ref = ranking_with(true);
+  auto opt = ranking_with(false);
+  ASSERT_GT(ref.size(), 100u);
+  ASSERT_EQ(ref.size(), opt.size());
+
+  // Split the reference ranking into tie classes: a gap larger than the
+  // noise band starts a new class. Within each class the two rankings must
+  // hold the same set of samples; the class sequence itself is the table.
+  constexpr double kTieEps = 1e-7;  // 10x the default solver tolerance
+  std::size_t start = 0;
+  std::size_t classes = 0;
+  for (std::size_t pos = 1; pos <= ref.size(); ++pos) {
+    if (pos < ref.size() &&
+        ref[pos].score - ref[pos - 1].score < kTieEps)
+      continue;
+    std::vector<std::size_t> ref_ids, opt_ids;
+    for (std::size_t k = start; k < pos; ++k) {
+      ref_ids.push_back(ref[k].sample_index);
+      opt_ids.push_back(opt[k].sample_index);
+    }
+    std::sort(ref_ids.begin(), ref_ids.end());
+    std::sort(opt_ids.begin(), opt_ids.end());
+    EXPECT_EQ(ref_ids, opt_ids) << "tie class at rank " << start + 1;
+    start = pos;
+    ++classes;
+  }
+  // The interesting part of the table is not one giant tie.
+  EXPECT_GE(classes, 4u);
+}
+
+// Figures 5(b) and 5(c): the buggy intervals land at the same ranks on
+// both paths. (The clean intervals of these cases form near-degenerate
+// duplicate groups whose decision values tie within ~sqrt(tol), so their
+// internal order is noise; the figures' content is where the bugs rank.)
+TEST(FlatVsReferencePipeline, Fig5bcBugRanksIdentical) {
+  auto bug_ranks_with = [](const std::vector<pipeline::TaggedTrace>& traces,
+                           std::uint8_t line, bool reference) {
+    OcsvmParams params;
+    params.reference = reference;
+    pipeline::AnalysisOptions options;
+    options.detector = std::make_shared<OneClassSvm>(params);
+    return pipeline::analyze(traces, line, options).bug_ranks();
+  };
+  {
+    apps::Case2Config config;
+    config.seed = 3;
+    apps::Case2Result r = apps::run_case2(config);
+    std::vector<pipeline::TaggedTrace> traces{{&r.relay_trace, 0}};
+    auto ref = bug_ranks_with(traces, os::irq::kRadioSpi, true);
+    auto opt = bug_ranks_with(traces, os::irq::kRadioSpi, false);
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(ref, opt);
+  }
+  {
+    apps::Case3Config config;
+    config.seed = 5;
+    apps::Case3Result r = apps::run_case3(config);
+    std::vector<pipeline::TaggedTrace> traces;
+    for (net::NodeId src : r.sources) traces.push_back({&r.traces[src], 0});
+    auto ref = bug_ranks_with(traces, r.report_line, true);
+    auto opt = bug_ranks_with(traces, r.report_line, false);
+    EXPECT_EQ(ref, opt);
+  }
+}
 
 }  // namespace
 }  // namespace sent::ml

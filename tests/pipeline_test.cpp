@@ -156,10 +156,10 @@ TEST(PipelineDegradation, FallsBackToKnnOnTrainingError) {
   class BrokenDetector final : public core::OutlierDetector {
    public:
     std::string name() const override { return "broken"; }
-    std::vector<double> score(
-        const std::vector<std::vector<double>>&) override {
+    std::vector<double> score(const ml::Matrix&) override {
       throw ml::TrainingError("synthetic failure for testing");
     }
+    using core::OutlierDetector::score;
   };
   AnalysisOptions options;
   options.detector = std::make_shared<BrokenDetector>();
