@@ -14,6 +14,7 @@
 
 #include "apps/scenarios.hpp"
 #include "bench_util.hpp"
+#include "obs_flags.hpp"
 #include "pipeline/campaign.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
@@ -105,7 +106,9 @@ int main(int argc, char** argv) {
   cli.add_flag("jobs", "campaign worker threads (0 = all hardware cores)",
                "0");
   cli.add_flag("json", "timing output file", "BENCH_campaign.json");
+  bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
+  bench::ObsSession obs_session(cli);
 
   pipeline::CampaignOptions options;
   options.runs = static_cast<std::size_t>(cli.get_int("runs"));

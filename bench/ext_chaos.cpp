@@ -28,6 +28,7 @@
 #include "apps/scenarios.hpp"
 #include "bench_util.hpp"
 #include "fault/injector.hpp"
+#include "obs_flags.hpp"
 #include "pipeline/campaign.hpp"
 #include "trace/serialize.hpp"
 #include "util/cli.hpp"
@@ -112,7 +113,9 @@ int main(int argc, char** argv) {
                "extra fault intensity appended to the grid (0 = none)", "0");
   cli.add_switch("retry", "retry Failed/TimedOut runs once (offset seed)");
   cli.add_flag("json", "curve output file", "BENCH_chaos.json");
+  bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
+  bench::ObsSession obs_session(cli);
 
   pipeline::CampaignOptions options;
   options.runs = static_cast<std::size_t>(cli.get_int("runs"));

@@ -10,6 +10,7 @@
 
 #include "apps/scenarios.hpp"
 #include "bench_util.hpp"
+#include "obs_flags.hpp"
 #include "pipeline/inspect.hpp"
 #include "util/cli.hpp"
 
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
   cli.add_flag("rows", "ranking rows to print from the top", "7");
   cli.add_switch("fixed", "run the repaired (queue-and-pump) variant");
   cli.add_switch("csv", "also dump the full ranking as CSV");
+  bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
+  bench::ObsSession obs_session(cli);
 
   apps::Case2Config config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));

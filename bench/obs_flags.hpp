@@ -1,0 +1,65 @@
+// Shared --metrics / --trace-out wiring for driver binaries (DESIGN.md §11).
+//
+// Declare the flags with add_obs_flags() before Cli::parse(), then construct
+// one ObsSession after parsing: it enables the global Registry / TraceLog if
+// the corresponding flag was given and writes the JSON outputs when it goes
+// out of scope at the end of main().
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+namespace sent::bench {
+
+inline void add_obs_flags(util::Cli& cli) {
+  cli.add_flag("metrics", "write a metrics snapshot (JSON) to this file", "");
+  cli.add_switch("metrics-timers",
+                 "include the wall-clock timers section in --metrics output "
+                 "(off by default: timers are outside the determinism "
+                 "contract)");
+  cli.add_flag("trace-out",
+               "write a Chrome trace_event timeline (JSON) to this file", "");
+}
+
+class ObsSession {
+ public:
+  explicit ObsSession(const util::Cli& cli)
+      : metrics_path_(cli.get("metrics")),
+        include_timers_(cli.get_switch("metrics-timers")),
+        trace_path_(cli.get("trace-out")) {
+    if (!metrics_path_.empty()) obs::Registry::global().set_enabled(true);
+    if (!trace_path_.empty()) obs::TraceLog::global().set_enabled(true);
+  }
+
+  ~ObsSession() {
+    if (!metrics_path_.empty()) {
+      std::ofstream os(metrics_path_);
+      if (os) {
+        os << obs::Registry::global().snapshot().to_json(include_timers_)
+           << '\n';
+        std::printf("metrics written to %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty() &&
+        obs::TraceLog::global().write_chrome_json(trace_path_)) {
+      std::printf("trace timeline written to %s\n", trace_path_.c_str());
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  std::string metrics_path_;
+  bool include_timers_ = false;
+  std::string trace_path_;
+};
+
+}  // namespace sent::bench

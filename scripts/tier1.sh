@@ -14,28 +14,54 @@ ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 # ThreadSanitizer pass over the concurrency layer. Only the concurrency
 # test binaries are built in this tree; they are run directly (gtest
-# binaries are standalone) to keep the TSan pass cheap.
+# binaries are standalone) to keep the TSan pass cheap. obs_test joins the
+# pass because the metrics shards are the newest lock-free surface: its
+# merge-determinism tests hammer one registry from many threads.
 cmake -B build-tsan -S . -DSENT_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target thread_pool_test campaign_test
+cmake --build build-tsan -j "${JOBS}" \
+  --target thread_pool_test campaign_test obs_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/campaign_test
+./build-tsan/tests/obs_test
 
 # ASan+UBSan pass over the failure surface: fault injection, lenient trace
-# salvage, and campaign isolation push on exactly the code where memory and
-# UB bugs would hide (salvaged prefixes, perturbed byte streams, exceptions
-# unwinding across pool workers).
+# salvage (including the seeded byte-mutation fuzz battery), campaign
+# isolation, the anatomizer property battery, and the golden Fig. 5
+# reruns push on exactly the code where memory and UB bugs would hide
+# (salvaged prefixes, perturbed byte streams, exceptions unwinding across
+# pool workers).
 cmake -B build-asan -S . -DSENT_SANITIZE=address,undefined
 cmake --build build-asan -j "${JOBS}" \
-  --target fault_test serialize_test campaign_test cli_test
+  --target fault_test serialize_test campaign_test cli_test obs_test \
+  interval_property_test golden_fig5_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/serialize_test
 ./build-asan/tests/campaign_test
 ./build-asan/tests/cli_test
+./build-asan/tests/obs_test
+./build-asan/tests/interval_property_test
+./build-asan/tests/golden_fig5_test
 
 # Chaos smoke: a small fault-intensity grid end to end. Exits nonzero on
 # any process abort, nondeterminism across thread counts, or a clean row
 # that fails to reproduce the no-harness baseline.
 ./build/bench/ext_chaos --runs 4 --jobs 2 --json build/BENCH_chaos_smoke.json
+
+# Observability smoke: --metrics must emit parseable JSON with the promised
+# top-level sections, and the deterministic sections must be byte-identical
+# between --jobs 1 and --jobs 2 campaigns of the same workload.
+./build/bench/ext_campaign --runs 4 --jobs 1 \
+  --metrics build/metrics_j1.json --json build/BENCH_campaign_smoke.json
+./build/bench/ext_campaign --runs 4 --jobs 2 \
+  --metrics build/metrics_j2.json --json build/BENCH_campaign_smoke.json
+python3 - <<'EOF'
+import json
+snap = json.load(open("build/metrics_j1.json"))
+for key in ("version", "counters", "gauges", "histograms"):
+    assert key in snap, f"metrics snapshot missing {key!r}"
+assert snap["counters"].get("campaign.runs", 0) > 0, "no campaign runs recorded"
+EOF
+cmp build/metrics_j1.json build/metrics_j2.json
 
 # ML data-plane smoke: the quick grid plus the built-in parity self-check
 # (optimized vs reference kernel/solver/decision). micro_perf exits nonzero
@@ -44,4 +70,4 @@ cmake --build build-asan -j "${JOBS}" \
 ./build/bench/micro_perf --quick --ml-json build/BENCH_ml.json
 test -s build/BENCH_ml.json
 
-echo "tier-1 OK (incl. TSan concurrency + ASan/UBSan fault-surface + chaos + ML parity smoke)"
+echo "tier-1 OK (incl. TSan concurrency/obs + ASan/UBSan fault-surface/property/golden + chaos + obs + ML parity smoke)"

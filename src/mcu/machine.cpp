@@ -1,8 +1,27 @@
 #include "mcu/machine.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace sent::mcu {
+
+namespace {
+
+// Registered as one block on first use (DESIGN.md §11).
+struct Metrics {
+  obs::Counter raises = obs::Registry::global().counter("mcu.irq_raises");
+  obs::Counter delivered =
+      obs::Registry::global().counter("mcu.interrupts_delivered");
+  obs::Counter dropped =
+      obs::Registry::global().counter("mcu.interrupts_dropped");
+
+  static const Metrics& get() {
+    static Metrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 Machine::Machine(sim::EventQueue& queue, trace::Recorder& recorder,
                  const Program& program)
@@ -26,8 +45,10 @@ void Machine::raise_irq(trace::IrqLine line) {
   SENT_REQUIRE(line < 64);
   SENT_REQUIRE_MSG(handlers_[line] != kNoHandler,
                    "IRQ raised on unbound line " << int(line));
+  Metrics::get().raises.inc();
   if (irq_drop_hook_ && irq_drop_hook_(line)) {
     ++irqs_dropped_;
+    Metrics::get().dropped.inc();
     return;
   }
   pending_ |= (1ULL << line);
@@ -100,6 +121,7 @@ void Machine::step() {
   if (int line = deliverable_irq(); line >= 0) {
     pending_ &= ~(1ULL << line);
     ++ints_delivered_;
+    Metrics::get().delivered.inc();
     recorder_.on_int(queue_.now(), static_cast<trace::IrqLine>(line));
     frames_.push_back(Frame{handlers_[static_cast<std::size_t>(line)], 0,
                             /*is_handler=*/true,

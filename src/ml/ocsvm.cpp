@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "ml/error.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -14,6 +15,36 @@ namespace sent::ml {
 namespace {
 constexpr double kEps = 1e-12;
 constexpr double kTau = 1e-12;  // denominator floor in the pair update
+
+// ML data-plane introspection (DESIGN.md §11). Everything here is a pure
+// function of the training data, so it stays in the deterministic metrics
+// sections; the one wall-clock quantity (the Gram build) is a timer.
+// Recording happens once per fit / per build — never inside kernel loops,
+// which keeps the disabled-registry overhead on micro_perf under noise.
+struct Metrics {
+  obs::Counter fits = obs::Registry::global().counter("ml.ocsvm_fits");
+  obs::Counter iterations =
+      obs::Registry::global().counter("ml.smo_iterations");
+  obs::Counter shrink_cycles =
+      obs::Registry::global().counter("ml.smo_shrink_cycles");
+  obs::Counter reconstructs =
+      obs::Registry::global().counter("ml.smo_gradient_reconstructs");
+  obs::Counter kernel_cells =
+      obs::Registry::global().counter("ml.kernel_cells_built");
+  obs::Counter decision_points =
+      obs::Registry::global().counter("ml.decision_points");
+  obs::Histogram iterations_per_fit =
+      obs::Registry::global().histogram("ml.smo_iterations_per_fit");
+  obs::Histogram support_vectors =
+      obs::Registry::global().histogram("ml.support_vectors_per_fit");
+  obs::Histogram kernel_build_ns =
+      obs::Registry::global().timer("ml.kernel_build_ns");
+
+  static const Metrics& get() {
+    static Metrics m;
+    return m;
+  }
+};
 }  // namespace
 
 OneClassSvm::OneClassSvm(OcsvmParams params) : params_(params) {
@@ -79,6 +110,7 @@ void OneClassSvm::fit(const Matrix& rows) {
     }
     sv_norms_ = row_squared_norms(sv_x_);
   }
+  Metrics::get().support_vectors.record(support_vector_count());
   fitted_ = true;
 }
 
@@ -91,11 +123,15 @@ void OneClassSvm::solve(const Matrix& x) {
   // O(l^2 d) hot path; see kernel.cpp for the blocked norm-cached build
   // and the retained per-element reference build.
   std::vector<double> q;
-  if (params_.reference) {
-    build_kernel_matrix_reference(params_.kernel, gamma_, x, pool(), q);
-  } else {
-    build_kernel_matrix(params_.kernel, gamma_, x, pool(), q);
+  {
+    obs::ScopedTimer build_timer(Metrics::get().kernel_build_ns);
+    if (params_.reference) {
+      build_kernel_matrix_reference(params_.kernel, gamma_, x, pool(), q);
+    } else {
+      build_kernel_matrix(params_.kernel, gamma_, x, pool(), q);
+    }
   }
+  Metrics::get().kernel_cells.inc(l * l);
 
   // LIBSVM-style feasible start: the first floor(nu*l) points at the upper
   // bound, one fractional point, the rest at zero; sum = 1.
@@ -127,6 +163,9 @@ void OneClassSvm::solve(const Matrix& x) {
   } else {
     smo_optimized(q, l, c, g);
   }
+  Metrics::get().fits.inc();
+  Metrics::get().iterations.inc(iterations_);
+  Metrics::get().iterations_per_fit.record(iterations_);
 
   // rho: G_i == rho on free support vectors; otherwise bracket between the
   // bound groups.
@@ -220,6 +259,7 @@ void OneClassSvm::smo_optimized(const std::vector<double>& q, std::size_t l,
 
   auto reconstruct_gradient = [&]() {
     if (active.size() == l) return;
+    Metrics::get().reconstructs.inc();
     std::vector<char> is_active(l, 0);
     for (std::size_t t : active) is_active[t] = 1;
     for (std::size_t t = 0; t < l; ++t) {
@@ -238,6 +278,7 @@ void OneClassSvm::smo_optimized(const std::vector<double>& q, std::size_t l,
   };
 
   auto do_shrinking = [&]() {
+    Metrics::get().shrink_cycles.inc();
     double g_up = std::numeric_limits<double>::infinity();
     double g_low = -std::numeric_limits<double>::infinity();
     for (std::size_t t : active) {
@@ -379,6 +420,7 @@ double OneClassSvm::decision(std::span<const double> x) const {
 
 std::vector<double> OneClassSvm::decision_batch(const Matrix& rows) const {
   SENT_REQUIRE_MSG(fitted(), "decision_batch() before fit()");
+  Metrics::get().decision_points.inc(rows.rows());
   SENT_REQUIRE(rows.empty() || rows.cols() == dim_);
   // Standardize the whole batch once; per-query work is then just the
   // compact SV sum.

@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace sent::obs {
+
+namespace {
+
+/// Sequential per-thread id (0 is reserved so exported tids start at 1).
+std::uint32_t thread_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+}  // namespace
+
+TraceLog& TraceLog::global() {
+  static TraceLog log;
+  return log;
+}
+
+void TraceLog::set_enabled(bool on) {
+  if (on) {
+    std::uint64_t expected = 0;
+    epoch_ns_.compare_exchange_strong(expected, Registry::now_ns());
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceLog::now_us() const {
+  std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  std::uint64_t now = Registry::now_ns();
+  return now > epoch ? (now - epoch) / 1000 : 0;
+}
+
+void TraceLog::append(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string TraceLog::to_chrome_json() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_us > b.dur_us;  // enclosing span first
+            });
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << "  {\"name\": \"" << e.name << "\", \"cat\": \"" << e.category
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us;
+    if (e.has_arg) os << ", \"args\": {\"v\": " << e.arg << "}";
+    os << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+bool TraceLog::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  out << to_chrome_json();
+  return true;
+}
+
+Span::Span(const char* name, const char* category)
+    : name_(name), category_(category) {
+  TraceLog& log = TraceLog::global();
+  if (log.enabled()) {
+    armed_ = true;
+    start_us_ = log.now_us();
+  }
+}
+
+Span::Span(const char* name, const char* category, std::uint64_t arg)
+    : Span(name, category) {
+  arg_ = arg;
+  has_arg_ = true;
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  TraceLog& log = TraceLog::global();
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.tid = thread_tid();
+  event.ts_us = start_us_;
+  std::uint64_t end = log.now_us();
+  event.dur_us = end > start_us_ ? end - start_us_ : 0;
+  event.arg = arg_;
+  event.has_arg = has_arg_;
+  log.append(event);
+}
+
+}  // namespace sent::obs

@@ -1,0 +1,84 @@
+// Phase-timeline tracing (DESIGN.md §11).
+//
+// Span is an RAII marker around a phase of work (one seeded run, one
+// anatomize pass, one SMO solve). Completed spans collect into the global
+// TraceLog, which exports the Chrome `trace_event` JSON format — load the
+// file in chrome://tracing or Perfetto to see where a campaign's wall
+// clock went, per worker thread.
+//
+// Tracing is wall-clock data and therefore outside the determinism
+// contract; it is off by default and costs one relaxed atomic load per
+// span when disabled. Span names/categories must be string literals (the
+// log stores the pointers, not copies).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sent::obs {
+
+/// One completed span ("X" complete event in trace_event terms).
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint32_t tid = 0;       ///< small sequential id per recording thread
+  std::uint64_t ts_us = 0;     ///< start, microseconds since log epoch
+  std::uint64_t dur_us = 0;
+  std::uint64_t arg = 0;       ///< optional user payload (e.g. the seed)
+  bool has_arg = false;
+};
+
+class TraceLog {
+ public:
+  static TraceLog& global();
+
+  void set_enabled(bool on);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void append(const TraceEvent& event);
+  void clear();
+
+  std::size_t size() const;
+
+  /// Render all events (sorted by start time, then thread) as Chrome
+  /// trace_event JSON: {"traceEvents": [...]}.
+  std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to a file; false (with a message on stderr)
+  /// when the file cannot be opened.
+  bool write_chrome_json(const std::string& path) const;
+
+  /// Microseconds since the log's epoch (set when first enabled).
+  std::uint64_t now_us() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> epoch_ns_{0};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span recording into TraceLog::global(). Nesting works naturally:
+/// inner spans simply record shorter [ts, ts+dur] windows on the same tid.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "run");
+  Span(const char* name, const char* category, std::uint64_t arg);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_us_ = 0;
+  std::uint64_t arg_ = 0;
+  bool has_arg_ = false;
+  bool armed_ = false;
+};
+
+}  // namespace sent::obs

@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace sent::os {
+
+namespace {
+
+// Registered as one block on first use (DESIGN.md §11). The latency
+// histogram is in virtual cycles — a logical quantity, so it stays inside
+// the deterministic sections of the metrics snapshot.
+struct Metrics {
+  obs::Counter posted = obs::Registry::global().counter("os.tasks_posted");
+  obs::Counter run = obs::Registry::global().counter("os.tasks_run");
+  obs::Counter overflows =
+      obs::Registry::global().counter("os.queue_overflows");
+  obs::Gauge queue_hwm = obs::Registry::global().gauge("os.task_queue_hwm");
+  obs::Histogram post_to_run =
+      obs::Registry::global().histogram("os.post_to_run_cycles");
+
+  static const Metrics& get() {
+    static Metrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 Kernel::Kernel(sim::EventQueue& queue, trace::Recorder& recorder,
                mcu::Machine& machine, const mcu::Program& program)
@@ -32,12 +55,15 @@ bool Kernel::try_post(trace::TaskId task) {
   SENT_REQUIRE(task < task_codes_.size());
   if (capacity_ != 0 && queue_.size() >= capacity_) {
     ++overflows_;
+    Metrics::get().overflows.inc();
     return false;
   }
   // Posts happen from inside an executing instruction, so "now" is that
   // instruction's start cycle.
   recorder_.on_post_task(queue_time_.now(), task);
-  queue_.push_back(task);
+  queue_.push_back(Pending{task, queue_time_.now()});
+  Metrics::get().posted.inc();
+  Metrics::get().queue_hwm.record(queue_.size());
   machine_.notify_task_posted();
   return true;
 }
@@ -46,7 +72,9 @@ void Kernel::post(trace::TaskId task) { (void)try_post(task); }
 
 bool Kernel::post_unique(trace::TaskId task) {
   SENT_REQUIRE(task < task_codes_.size());
-  if (std::find(queue_.begin(), queue_.end(), task) != queue_.end())
+  if (std::find_if(queue_.begin(), queue_.end(), [task](const Pending& p) {
+        return p.task == task;
+      }) != queue_.end())
     return false;
   post(task);
   return true;
@@ -54,9 +82,11 @@ bool Kernel::post_unique(trace::TaskId task) {
 
 std::pair<trace::TaskId, mcu::CodeId> Kernel::pop_task() {
   SENT_ASSERT(!queue_.empty());
-  trace::TaskId task = queue_.front();
+  Pending pending = queue_.front();
   queue_.pop_front();
-  return {task, task_codes_[task]};
+  Metrics::get().run.inc();
+  Metrics::get().post_to_run.record(queue_time_.now() - pending.posted_at);
+  return {pending.task, task_codes_[pending.task]};
 }
 
 }  // namespace sent::os

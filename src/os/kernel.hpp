@@ -56,8 +56,15 @@ class Kernel final : public mcu::TaskProvider {
   trace::Recorder& recorder_;
   mcu::Machine& machine_;
   const mcu::Program& program_;
+  /// Pending post: the task plus the cycle it was posted at (for the
+  /// post-to-run latency histogram, DESIGN.md §11).
+  struct Pending {
+    trace::TaskId task;
+    sim::Cycle posted_at;
+  };
+
   std::vector<mcu::CodeId> task_codes_;  // TaskId -> CodeId
-  std::deque<trace::TaskId> queue_;
+  std::deque<Pending> queue_;
   std::size_t capacity_ = 0;  // 0 = unbounded
   std::uint64_t overflows_ = 0;
 };

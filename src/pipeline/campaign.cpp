@@ -4,11 +4,40 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "util/assert.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sent::pipeline {
+
+namespace {
+
+// Campaign-level introspection (DESIGN.md §11). Outcome counters are a pure
+// function of (runner, options) and stay deterministic; per-run wall time
+// goes to the `campaign.run_seconds` timer, which the snapshot keeps out of
+// the deterministic sections.
+struct Metrics {
+  obs::Counter runs = obs::Registry::global().counter("campaign.runs");
+  obs::Counter triggered =
+      obs::Registry::global().counter("campaign.triggered");
+  obs::Counter failed = obs::Registry::global().counter("campaign.failed");
+  obs::Counter timed_out =
+      obs::Registry::global().counter("campaign.timed_out");
+  obs::Counter retried = obs::Registry::global().counter("campaign.retried");
+  obs::Counter degraded =
+      obs::Registry::global().counter("campaign.degraded");
+  obs::Histogram run_ns = obs::Registry::global().timer("campaign.run_ns");
+
+  static const Metrics& get() {
+    static Metrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 double CampaignStats::trigger_rate() const {
   if (runs == 0) return 0.0;
@@ -25,6 +54,18 @@ double CampaignStats::mean_first_rank() const {
   if (first_ranks.empty()) return 0.0;
   double sum = std::accumulate(first_ranks.begin(), first_ranks.end(), 0.0);
   return sum / static_cast<double>(first_ranks.size());
+}
+
+double CampaignStats::wall_seconds_percentile(double p) const {
+  return util::percentile(run_wall_seconds, p);
+}
+
+bool CampaignStats::operator==(const CampaignStats& other) const {
+  return runs == other.runs && triggered == other.triggered &&
+         detected_top_k == other.detected_top_k && k == other.k &&
+         first_ranks == other.first_ranks && failed == other.failed &&
+         timed_out == other.timed_out && retried == other.retried &&
+         degraded == other.degraded && failures == other.failures;
 }
 
 namespace {
@@ -73,14 +114,20 @@ CampaignStats run_campaign(const ScenarioRunner& runner,
 
   // Fan the seeds out; each slot is written by exactly one invocation.
   std::vector<RunOutcome> outcomes(options.runs);
+  std::vector<double> wall_seconds(options.runs, 0.0);
   util::ThreadPool pool(options.threads);
   pool.parallel_for(options.runs, [&](std::size_t i) {
     const std::uint64_t seed = options.first_seed + i;
+    obs::Span run_span("campaign.run", "campaign", seed);
+    const std::uint64_t t0 = obs::Registry::now_ns();
     RunOutcome out = attempt(runner, seed);
     if (out.status != RunStatus::Completed && options.retry_failed) {
       out = attempt(runner, seed + options.retry_seed_offset);
       out.retried = true;
     }
+    const std::uint64_t elapsed_ns = obs::Registry::now_ns() - t0;
+    Metrics::get().run_ns.record(elapsed_ns);
+    wall_seconds[i] = static_cast<double>(elapsed_ns) * 1e-9;
     outcomes[i] = std::move(out);
   });
 
@@ -88,6 +135,7 @@ CampaignStats run_campaign(const ScenarioRunner& runner,
   CampaignStats stats;
   stats.runs = options.runs;
   stats.k = options.k;
+  stats.run_wall_seconds = std::move(wall_seconds);
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const RunOutcome& outcome = outcomes[i];
     stats.retried += outcome.retried;
@@ -104,6 +152,13 @@ CampaignStats run_campaign(const ScenarioRunner& runner,
     stats.first_ranks.push_back(outcome.first_rank);
     if (outcome.first_rank <= options.k) ++stats.detected_top_k;
   }
+
+  Metrics::get().runs.inc(stats.runs);
+  Metrics::get().triggered.inc(stats.triggered);
+  Metrics::get().failed.inc(stats.failed);
+  Metrics::get().timed_out.inc(stats.timed_out);
+  Metrics::get().retried.inc(stats.retried);
+  Metrics::get().degraded.inc(stats.degraded);
   return stats;
 }
 

@@ -63,6 +63,12 @@ struct CampaignStats {
   std::size_t degraded = 0;   ///< completed runs with a degraded report
   std::vector<RunFailure> failures;  ///< non-completed runs, seed order
 
+  // Observability (DESIGN.md §11): wall-clock seconds per run, seed order
+  // (retries included in their run's total). Wall time is measured, not
+  // derived from the seed, so it is EXCLUDED from operator== — campaign
+  // determinism claims ("serial == --jobs N") are about logical outcomes.
+  std::vector<double> run_wall_seconds;
+
   std::size_t completed() const { return runs - failed - timed_out; }
   double trigger_rate() const;
   /// Detection rate among triggered runs. Convention: 0.0 when no run
@@ -71,7 +77,11 @@ struct CampaignStats {
   double detection_rate() const;
   double mean_first_rank() const;  ///< 0 when none triggered
 
-  bool operator==(const CampaignStats&) const = default;
+  /// Percentile of run_wall_seconds (p in [0, 100]); 0 when empty.
+  double wall_seconds_percentile(double p) const;
+
+  /// Logical-outcome equality; run_wall_seconds deliberately ignored.
+  bool operator==(const CampaignStats& other) const;
 };
 
 struct CampaignOptions {

@@ -6,10 +6,36 @@
 #include "ml/detectors.hpp"
 #include "ml/error.hpp"
 #include "ml/ocsvm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/table.hpp"
 
 namespace sent::pipeline {
+
+namespace {
+
+// Back-end introspection (DESIGN.md §11): how many analyses ran, how much
+// interval material they saw, and how often the detector had to degrade.
+struct Metrics {
+  obs::Counter analyses = obs::Registry::global().counter("pipeline.analyses");
+  obs::Counter traces = obs::Registry::global().counter("pipeline.traces");
+  obs::Counter intervals =
+      obs::Registry::global().counter("pipeline.intervals");
+  obs::Counter truncated_dropped =
+      obs::Registry::global().counter("pipeline.truncated_dropped");
+  obs::Counter knn_fallbacks =
+      obs::Registry::global().counter("pipeline.knn_fallbacks");
+  obs::Histogram samples_per_analysis =
+      obs::Registry::global().histogram("pipeline.samples_per_analysis");
+
+  static const Metrics& get() {
+    static Metrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* to_string(FeatureKind kind) {
   switch (kind) {
@@ -81,27 +107,40 @@ bool marker_in_window(const trace::BugMarker& bug,
 AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
                        trace::IrqLine line, const AnalysisOptions& options) {
   SENT_REQUIRE_MSG(!traces.empty(), "no traces to analyze");
+  obs::Span analyze_span("pipeline.analyze", "pipeline", line);
+  Metrics::get().analyses.inc();
 
   AnalysisReport report;
   core::FeatureMatrix matrix;
 
   for (const auto& tagged : traces) {
     SENT_REQUIRE(tagged.trace != nullptr);
+    Metrics::get().traces.inc();
     const trace::NodeTrace& node_trace = *tagged.trace;
-    core::Anatomizer anatomizer(node_trace);
-    std::vector<core::EventInterval> intervals =
-        anatomizer.intervals_for(line);
+    std::vector<core::EventInterval> intervals;
+    {
+      obs::Span anatomize_span("pipeline.anatomize", "pipeline");
+      core::Anatomizer anatomizer(node_trace);
+      intervals = anatomizer.intervals_for(line);
+    }
     if (options.drop_truncated) {
+      auto is_truncated = [](const core::EventInterval& i) {
+        return i.truncated;
+      };
+      Metrics::get().truncated_dropped.inc(static_cast<std::uint64_t>(
+          std::count_if(intervals.begin(), intervals.end(), is_truncated)));
       intervals.erase(std::remove_if(intervals.begin(), intervals.end(),
-                                     [](const core::EventInterval& i) {
-                                       return i.truncated;
-                                     }),
+                                     is_truncated),
                       intervals.end());
     }
+    Metrics::get().intervals.inc(intervals.size());
     if (intervals.empty()) continue;
 
-    core::FeatureMatrix part = featurize(node_trace, intervals,
-                                         options.features);
+    core::FeatureMatrix part;
+    {
+      obs::Span featurize_span("pipeline.featurize", "pipeline");
+      part = featurize(node_trace, intervals, options.features);
+    }
     core::append_rows(matrix, part);
 
     for (const auto& interval : intervals) {
@@ -130,12 +169,15 @@ AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
   report.detector_name = detector->name();
   report.feature_dim = matrix.dim();
 
+  Metrics::get().samples_per_analysis.record(report.samples.size());
   try {
+    obs::Span score_span("pipeline.score", "pipeline");
     report.scores = detector->score(matrix.values);
   } catch (const ml::TrainingError& e) {
     // Degrade instead of dying: the k-NN distance detector has no training
     // phase and handles any finite matrix, so a run whose features broke
     // the SVM still yields a (coarser) ranking. The report says so.
+    Metrics::get().knn_fallbacks.inc();
     ml::KnnDetector fallback;
     report.scores = fallback.score(matrix.values);
     report.detector_name = fallback.name() + " (fallback)";

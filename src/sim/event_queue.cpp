@@ -4,9 +4,34 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace sent::sim {
+
+namespace {
+
+/// All sim metrics register together on first use, so any run that touches
+/// the event queue exposes the full set (keeps snapshots comparable across
+/// runs that never trip the watchdog, say). DESIGN.md §11.
+struct Metrics {
+  obs::Counter scheduled =
+      obs::Registry::global().counter("sim.events_scheduled");
+  obs::Counter executed =
+      obs::Registry::global().counter("sim.events_executed");
+  obs::Counter cancelled =
+      obs::Registry::global().counter("sim.events_cancelled");
+  obs::Counter watchdog_trips =
+      obs::Registry::global().counter("sim.watchdog_trips");
+  obs::Gauge queue_hwm = obs::Registry::global().gauge("sim.queue_hwm");
+
+  static const Metrics& get() {
+    static Metrics m;
+    return m;
+  }
+};
+
+}  // namespace
 
 EventId EventQueue::schedule_at(Cycle at, std::function<void()> fn) {
   SENT_REQUIRE_MSG(at >= now_, "cannot schedule in the past: at=" << at
@@ -15,6 +40,8 @@ EventId EventQueue::schedule_at(Cycle at, std::function<void()> fn) {
   EventId id = next_id_++;
   heap_.push(Entry{at, id, std::move(fn)});
   ++live_;
+  Metrics::get().scheduled.inc();
+  Metrics::get().queue_hwm.record(live_);
   return id;
 }
 
@@ -30,6 +57,7 @@ bool EventQueue::cancel(EventId id) {
   // it is purged when (or if) the entry surfaces.
   cancelled_.push_back(id);
   if (live_ > 0) --live_;
+  Metrics::get().cancelled.inc();
   return true;
 }
 
@@ -62,6 +90,7 @@ bool EventQueue::step() {
       // Put the event back so the queue stays consistent if the caller
       // catches the timeout and carries on.
       heap_.push(std::move(e));
+      Metrics::get().watchdog_trips.inc();
       throw WatchdogTimeout(
           "simulation watchdog: event budget of " +
           std::to_string(watchdog_budget_) + " exhausted at cycle " +
@@ -70,6 +99,7 @@ bool EventQueue::step() {
     now_ = e.at;
     --live_;
     ++executed_;
+    Metrics::get().executed.inc();
     e.fn();
     return true;
   }

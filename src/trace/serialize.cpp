@@ -208,18 +208,20 @@ LenientLoadResult load_trace_lenient(std::istream& in) {
     result.complete = false;
     result.error_line = parser.line_no();
     result.error = e.what();
-    // Clamp run_end over every surviving record so downstream consumers
-    // (anatomizer closes dangling intervals at run_end) never see a record
-    // beyond the end of the run, even if corruption inflated a cycle.
-    sim::Cycle max_cycle = result.trace.run_end;
-    for (const auto& item : result.trace.lifecycle)
-      max_cycle = std::max({max_cycle, item.cycle, item.end_cycle});
-    for (const auto& e : result.trace.instrs)
-      max_cycle = std::max(max_cycle, e.cycle);
-    for (const auto& bug : result.trace.bugs)
-      max_cycle = std::max(max_cycle, bug.cycle);
-    result.trace.run_end = max_cycle;
   }
+  // Clamp run_end over every surviving record so downstream consumers
+  // (anatomizer closes dangling intervals at run_end) never see a record
+  // beyond the end of the run. Applied even to files that parsed to the end
+  // marker: a corrupted run_end digit yields a "complete" file whose stated
+  // run_end understates its own records, and a faithful trace is unchanged.
+  sim::Cycle max_cycle = result.trace.run_end;
+  for (const auto& item : result.trace.lifecycle)
+    max_cycle = std::max({max_cycle, item.cycle, item.end_cycle});
+  for (const auto& e : result.trace.instrs)
+    max_cycle = std::max(max_cycle, e.cycle);
+  for (const auto& bug : result.trace.bugs)
+    max_cycle = std::max(max_cycle, bug.cycle);
+  result.trace.run_end = max_cycle;
   return result;
 }
 

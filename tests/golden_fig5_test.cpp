@@ -1,0 +1,146 @@
+// Golden-snapshot tests for the three Figure 5 case studies.
+//
+// Each driver-default configuration is rerun end to end and compared
+// STRUCTURALLY against a checked-in fixture: sample counts, ground-truth
+// buggy-interval counts, the ranks at which the buggy intervals surface,
+// and the labels of the buggy instances that make the top of the ranking
+// table. Score floats are deliberately
+// not part of the fixture — they may move with detector tuning, while these
+// structural facts are the paper's actual claims and must not drift
+// silently.
+//
+// Regenerate after an intentional behaviour change with:
+//   SENT_UPDATE_GOLDEN=1 ./golden_fig5_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/scenarios.hpp"
+#include "pipeline/sentomist.hpp"
+
+namespace {
+
+using namespace sent;
+
+struct GoldenRecord {
+  std::size_t samples = 0;
+  std::size_t buggy = 0;
+  std::vector<std::size_t> bug_ranks;
+  std::vector<std::string> top;  ///< labels of buggy instances in the top-k
+
+  bool operator==(const GoldenRecord&) const = default;
+};
+
+constexpr std::size_t kTopLabels = 5;
+
+GoldenRecord record_of(const pipeline::AnalysisReport& report) {
+  GoldenRecord record;
+  record.samples = report.samples.size();
+  record.buggy = report.buggy_count();
+  record.bug_ranks = report.bug_ranks();
+  // Only ground-truth buggy entries are recorded from the top of the table:
+  // clean samples near the detection threshold sit at nearly tied scores,
+  // and their relative order legitimately differs between optimization
+  // levels (sanitizer builds rerun this suite). The buggy entries' positions
+  // are anchored by bug_ranks, so their labels are build-stable.
+  for (std::size_t pos = 0;
+       pos < std::min(kTopLabels, report.ranking.size()); ++pos) {
+    const pipeline::Sample& s =
+        report.samples[report.ranking[pos].sample_index];
+    if (!s.has_bug) continue;
+    record.top.push_back(s.label(/*with_run=*/true, /*with_node=*/true));
+  }
+  return record;
+}
+
+std::string serialize(const GoldenRecord& record) {
+  std::ostringstream os;
+  os << "samples=" << record.samples << "\n";
+  os << "buggy=" << record.buggy << "\n";
+  os << "bug_ranks=";
+  for (std::size_t i = 0; i < record.bug_ranks.size(); ++i)
+    os << (i ? "," : "") << record.bug_ranks[i];
+  os << "\n";
+  for (const std::string& label : record.top) os << "top=" << label << "\n";
+  return os.str();
+}
+
+GoldenRecord parse(std::istream& in) {
+  GoldenRecord record;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    if (key == "samples") {
+      record.samples = std::stoul(value);
+    } else if (key == "buggy") {
+      record.buggy = std::stoul(value);
+    } else if (key == "bug_ranks") {
+      std::istringstream vs(value);
+      std::string token;
+      while (std::getline(vs, token, ','))
+        if (!token.empty()) record.bug_ranks.push_back(std::stoul(token));
+    } else if (key == "top") {
+      record.top.push_back(value);
+    }
+  }
+  return record;
+}
+
+/// Compare against (or, under SENT_UPDATE_GOLDEN=1, rewrite) the fixture.
+void check_golden(const std::string& name, const GoldenRecord& actual) {
+  const std::string path = std::string(SENT_GOLDEN_DIR) + "/" + name;
+  if (std::getenv("SENT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << serialize(actual);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing fixture " << path
+                  << " (regenerate with SENT_UPDATE_GOLDEN=1)";
+  GoldenRecord expected = parse(in);
+  EXPECT_EQ(actual.samples, expected.samples) << name;
+  EXPECT_EQ(actual.buggy, expected.buggy) << name;
+  EXPECT_EQ(actual.bug_ranks, expected.bug_ranks) << name;
+  EXPECT_EQ(actual.top, expected.top) << name;
+}
+
+TEST(GoldenFig5Test, CaseIDataPollution) {
+  apps::Case1Config config;  // driver defaults: seed 5, five periods, 10 s
+  config.seed = 5;
+  apps::Case1Result result = apps::run_case1(config);
+  std::vector<pipeline::TaggedTrace> traces;
+  for (std::size_t r = 0; r < result.runs.size(); ++r)
+    traces.push_back({&result.runs[r].sensor_trace, r});
+  check_golden("fig5a.txt",
+               record_of(pipeline::analyze(traces, os::irq::kAdc)));
+}
+
+TEST(GoldenFig5Test, CaseIIPacketLoss) {
+  apps::Case2Config config;  // driver defaults: seed 3, 20 s
+  config.seed = 3;
+  apps::Case2Result result = apps::run_case2(config);
+  check_golden("fig5b.txt",
+               record_of(pipeline::analyze({{&result.relay_trace, 0}},
+                                           os::irq::kRadioSpi)));
+}
+
+TEST(GoldenFig5Test, CaseIIICtpHeartbeat) {
+  apps::Case3Config config;  // driver defaults: seed 5, 15 s, 3x3 grid
+  config.seed = 5;
+  apps::Case3Result result = apps::run_case3(config);
+  std::vector<pipeline::TaggedTrace> traces;
+  for (net::NodeId src : result.sources)
+    traces.push_back({&result.traces[src], 0});
+  check_golden("fig5c.txt",
+               record_of(pipeline::analyze(traces, result.report_line)));
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Property battery over the anatomizer (paper §V-A): for randomized
+// app/fault/seed combinations, every recorded lifecycle sequence and every
+// interval the anatomizer extracts from it must satisfy the structural
+// invariants the paper's three criteria promise — int/reti stack
+// discipline, Criterion-1 FIFO post/run pairing, strictly increasing
+// interval starts, and feature rows that sum to exactly the instructions
+// executed inside the interval's wall-clock window.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "apps/scenarios.hpp"
+#include "core/anatomizer.hpp"
+#include "core/features.hpp"
+#include "core/int_reti.hpp"
+#include "fault/injector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sent;
+
+/// Invariants of the raw lifecycle sequence, independent of any line.
+void check_lifecycle(const trace::NodeTrace& t) {
+  // The whole-sequence validator must accept every recorder-produced trace.
+  EXPECT_NO_THROW(core::validate_lifecycle(t.lifecycle));
+
+  std::vector<trace::IrqLine> handler_stack;
+  std::vector<std::size_t> posts, runs;
+  sim::Cycle prev_cycle = 0;
+  for (std::size_t i = 0; i < t.lifecycle.size(); ++i) {
+    const trace::LifecycleItem& item = t.lifecycle[i];
+    EXPECT_GE(item.cycle, prev_cycle) << "non-monotonic cycle at item " << i;
+    prev_cycle = item.cycle;
+    switch (item.kind) {
+      case trace::LifecycleKind::Int:
+        handler_stack.push_back(static_cast<trace::IrqLine>(item.arg));
+        break;
+      case trace::LifecycleKind::Reti:
+        ASSERT_FALSE(handler_stack.empty()) << "reti with no open int at "
+                                            << i;
+        EXPECT_EQ(handler_stack.back(), static_cast<trace::IrqLine>(item.arg))
+            << "reti closes the wrong line at " << i;
+        handler_stack.pop_back();
+        break;
+      case trace::LifecycleKind::PostTask:
+        posts.push_back(i);
+        break;
+      case trace::LifecycleKind::RunTask:
+        // A handler cannot be preempted by a task (Definition 3 grammar).
+        EXPECT_TRUE(handler_stack.empty())
+            << "runTask inside an open handler at " << i;
+        runs.push_back(i);
+        break;
+    }
+  }
+
+  // Criterion 1: single FIFO task queue — the i-th recorded postTask is
+  // executed by the i-th runTask, same task id, never before it was posted.
+  ASSERT_LE(runs.size(), posts.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(t.lifecycle[posts[i]].arg, t.lifecycle[runs[i]].arg)
+        << "post/run task-id mismatch at pair " << i;
+    EXPECT_LT(posts[i], runs[i]) << "task ran before its post at pair " << i;
+    EXPECT_LE(t.lifecycle[posts[i]].cycle, t.lifecycle[runs[i]].cycle);
+  }
+
+  // Instruction stream is chronologically ordered and inside the run.
+  sim::Cycle prev_instr = 0;
+  for (const trace::InstrExec& e : t.instrs) {
+    EXPECT_GE(e.cycle, prev_instr);
+    prev_instr = e.cycle;
+  }
+  if (!t.instrs.empty()) {
+    EXPECT_LE(t.instrs.back().cycle, t.run_end);
+  }
+}
+
+std::size_t instrs_in_window(const trace::NodeTrace& t, sim::Cycle start,
+                             sim::Cycle end) {
+  std::size_t n = 0;
+  for (const trace::InstrExec& e : t.instrs)
+    n += (e.cycle >= start && e.cycle <= end);
+  return n;
+}
+
+/// Invariants of the intervals extracted for one event type.
+void check_intervals(const trace::NodeTrace& t, trace::IrqLine line) {
+  core::Anatomizer anatomizer(t);
+  std::vector<core::EventInterval> intervals = anatomizer.intervals_for(line);
+
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const core::EventInterval& iv = intervals[i];
+    EXPECT_EQ(iv.irq, line);
+    EXPECT_EQ(iv.seq_in_type, i);  // chronological among same-type instances
+    if (i > 0) {
+      EXPECT_GT(iv.start_index, intervals[i - 1].start_index)
+          << "interval starts must be strictly increasing";
+    }
+
+    ASSERT_LT(iv.end_index, t.lifecycle.size());
+    ASSERT_LE(iv.start_index, iv.end_index);
+    const trace::LifecycleItem& open = t.lifecycle[iv.start_index];
+    EXPECT_EQ(open.kind, trace::LifecycleKind::Int);
+    EXPECT_EQ(static_cast<trace::IrqLine>(open.arg), line);
+    EXPECT_EQ(iv.start_cycle, open.cycle);
+
+    EXPECT_LE(iv.start_cycle, iv.end_cycle);
+    EXPECT_LE(iv.end_cycle, t.run_end);
+
+    const trace::LifecycleItem& last = t.lifecycle[iv.end_index];
+    if (!iv.truncated) {
+      // An instance ends at its handler's reti (no tasks) or at the
+      // runTask of its last task.
+      if (iv.task_count == 0) {
+        EXPECT_EQ(last.kind, trace::LifecycleKind::Reti);
+        EXPECT_EQ(static_cast<trace::IrqLine>(last.arg), line);
+      } else {
+        EXPECT_EQ(last.kind, trace::LifecycleKind::RunTask);
+        EXPECT_EQ(iv.end_cycle, last.end_cycle);
+      }
+    }
+  }
+
+  if (intervals.empty()) return;
+
+  // Definition 4: each feature row sums to exactly the number of
+  // instructions executed inside [start_cycle, end_cycle] — including the
+  // contributions of interleaving instances.
+  core::FeatureMatrix features = core::instruction_counters(t, intervals);
+  ASSERT_EQ(features.size(), intervals.size());
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    auto row = features.row(i);
+    double sum = std::accumulate(row.begin(), row.end(), 0.0);
+    EXPECT_DOUBLE_EQ(sum,
+                     static_cast<double>(instrs_in_window(
+                         t, intervals[i].start_cycle,
+                         intervals[i].end_cycle)))
+        << "row " << i << " of line " << int(line);
+  }
+}
+
+void check_all(const trace::NodeTrace& t) {
+  check_lifecycle(t);
+  core::Anatomizer anatomizer(t);
+  for (trace::IrqLine line : anatomizer.event_types())
+    check_intervals(t, line);
+}
+
+TEST(IntervalPropertyTest, Case1RandomSeedsAndFaults) {
+  util::Rng gen(0xC0FFEE01);
+  for (double intensity : {0.0, 0.5}) {
+    for (int round = 0; round < 2; ++round) {
+      apps::Case1Config config;
+      config.seed = 1 + gen.below(1'000'000);
+      config.sample_periods_ms = {20, 60};
+      config.run_seconds = 2.0;
+      config.faults = fault::FaultPlan::at_intensity(intensity);
+      config.faults.trace_truncate_prob = 0.0;  // perturbation tested apart
+      config.faults.trace_corrupt_prob = 0.0;
+      config.event_budget = 20'000'000;
+      SCOPED_TRACE("case1 seed " + std::to_string(config.seed) +
+                   " intensity " + std::to_string(intensity));
+      apps::Case1Result result = apps::run_case1(config);
+      for (const auto& run : result.runs) check_all(run.sensor_trace);
+    }
+  }
+}
+
+TEST(IntervalPropertyTest, Case2RandomSeedsAndFaults) {
+  util::Rng gen(0xC0FFEE02);
+  for (double intensity : {0.0, 0.5}) {
+    for (int round = 0; round < 2; ++round) {
+      apps::Case2Config config;
+      config.seed = 1 + gen.below(1'000'000);
+      config.run_seconds = 6.0;
+      config.faults = fault::FaultPlan::at_intensity(intensity);
+      config.faults.trace_truncate_prob = 0.0;
+      config.faults.trace_corrupt_prob = 0.0;
+      config.event_budget = 20'000'000;
+      SCOPED_TRACE("case2 seed " + std::to_string(config.seed) +
+                   " intensity " + std::to_string(intensity));
+      apps::Case2Result result = apps::run_case2(config);
+      check_all(result.relay_trace);
+    }
+  }
+}
+
+TEST(IntervalPropertyTest, Case3RandomSeeds) {
+  util::Rng gen(0xC0FFEE03);
+  for (int round = 0; round < 2; ++round) {
+    apps::Case3Config config;
+    config.seed = 1 + gen.below(1'000'000);
+    config.run_seconds = 5.0;
+    config.event_budget = 50'000'000;
+    SCOPED_TRACE("case3 seed " + std::to_string(config.seed));
+    apps::Case3Result result = apps::run_case3(config);
+    for (const trace::NodeTrace& t : result.traces) check_all(t);
+  }
+}
+
+}  // namespace

@@ -2,10 +2,12 @@
 
 #include <cstdio>
 #include <sstream>
+#include <vector>
 
 #include "apps/scenarios.hpp"
 #include "core/anatomizer.hpp"
 #include "trace/serialize.hpp"
+#include "util/rng.hpp"
 
 namespace sent::trace {
 namespace {
@@ -321,6 +323,120 @@ TEST(SerializeLenient, SalvagedRealTraceIsAnalyzable) {
   ::sent::core::Anatomizer anatomizer(salvaged.trace);
   auto intervals = anatomizer.intervals_for(os::irq::kRadioSpi);
   EXPECT_FALSE(intervals.empty());
+}
+
+// ---- fuzz-ish robustness (seeded byte mutations) --------------------------
+
+// Apply one random mutation drawn from the kinds a crashing node or a bad
+// flash sector realistically produces: truncation, byte corruption, a
+// spliced-in duplicate chunk, and whole-line deletion/duplication.
+std::string mutate_once(std::string text, util::Rng& rng) {
+  switch (rng.below(5)) {
+    case 0:  // truncate at an arbitrary byte
+      text.resize(static_cast<std::size_t>(rng.below(text.size() + 1)));
+      break;
+    case 1: {  // overwrite one byte with an arbitrary value
+      if (text.empty()) break;
+      text[rng.below(text.size())] = static_cast<char>(rng.below(256));
+      break;
+    }
+    case 2: {  // splice a random chunk into a random position
+      if (text.size() < 2) break;
+      const std::size_t from = rng.below(text.size());
+      const std::size_t len = rng.below(text.size() - from);
+      const std::size_t to = rng.below(text.size());
+      text.insert(to, text.substr(from, len));
+      break;
+    }
+    case 3: {  // delete one whole line
+      std::vector<std::size_t> starts{0};
+      for (std::size_t i = 0; i + 1 < text.size(); ++i)
+        if (text[i] == '\n') starts.push_back(i + 1);
+      const std::size_t begin = starts[rng.below(starts.size())];
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.erase(begin, end - begin);
+      break;
+    }
+    case 4: {  // duplicate one whole line in place
+      std::vector<std::size_t> starts{0};
+      for (std::size_t i = 0; i + 1 < text.size(); ++i)
+        if (text[i] == '\n') starts.push_back(i + 1);
+      const std::size_t begin = starts[rng.below(starts.size())];
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.insert(begin, text.substr(begin, end - begin));
+      break;
+    }
+  }
+  return text;
+}
+
+/// The robustness contract: whatever the bytes, the lenient loader returns
+/// (no crash, no hang), its salvage satisfies the NodeTrace invariants, and
+/// the salvage survives a strict save/load round-trip losslessly.
+void check_salvage(const std::string& mutated, const std::string& context) {
+  LenientLoadResult result;
+  std::stringstream in(mutated);
+  ASSERT_NO_THROW(result = load_trace_lenient(in)) << context;
+
+  const NodeTrace& t = result.trace;
+  for (const auto& item : t.lifecycle) {
+    EXPECT_LE(item.cycle, t.run_end) << context;
+    EXPECT_LE(item.end_cycle, t.run_end) << context;
+  }
+  for (const auto& e : t.instrs) {
+    EXPECT_LE(e.cycle, t.run_end) << context;
+    if (!t.instr_table.empty()) {
+      EXPECT_LT(e.instr, t.instr_table.size()) << context;
+    }
+  }
+
+  std::stringstream out;
+  ASSERT_NO_THROW(save_trace(t, out)) << context;
+  NodeTrace reloaded;
+  ASSERT_NO_THROW(reloaded = load_trace(out)) << context;
+  EXPECT_TRUE(traces_equal(t, reloaded)) << context;
+}
+
+TEST(SerializeFuzz, MutatedSmallTracesNeverCrashAndSalvageRoundTrips) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  const std::string pristine = buffer.str();
+  util::Rng rng(0xF022ED);
+  for (int round = 0; round < 400; ++round) {
+    std::string text = pristine;
+    const std::size_t mutations = 1 + rng.below(3);
+    for (std::size_t m = 0; m < mutations; ++m) text = mutate_once(text, rng);
+    check_salvage(text, "round " + std::to_string(round));
+  }
+}
+
+TEST(SerializeFuzz, MutatedRealTraceNeverCrashesAndSalvageRoundTrips) {
+  apps::Case2Config config;
+  config.seed = 11;
+  config.run_seconds = 2.0;
+  apps::Case2Result result = apps::run_case2(config);
+  std::stringstream buffer;
+  save_trace(result.relay_trace, buffer);
+  const std::string pristine = buffer.str();
+  util::Rng rng(0xF022EE);
+  for (int round = 0; round < 40; ++round) {
+    std::string text = pristine;
+    const std::size_t mutations = 1 + rng.below(3);
+    for (std::size_t m = 0; m < mutations; ++m) text = mutate_once(text, rng);
+    check_salvage(text, "real round " + std::to_string(round));
+  }
+}
+
+// An undamaged trace run through the mutation harness with zero mutations
+// stays complete — guards the harness itself against accidental damage.
+TEST(SerializeFuzz, HarnessBaselineIsComplete) {
+  std::stringstream buffer;
+  save_trace(sample(), buffer);
+  LenientLoadResult result = load_trace_lenient(buffer);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(traces_equal(sample(), result.trace));
 }
 
 TEST(SerializeLenient, FileWrapper) {
