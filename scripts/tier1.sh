@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + ctest, then the concurrency tests again
-# under ThreadSanitizer (SENT_SANITIZE=thread), an ASan+UBSan pass over the
-# failure-surface tests, and a chaos smoke run so the injected-fault paths
-# are exercised on every verify.
+# Tier-1 verification: full build + ctest (both dispatch substrates), then
+# the concurrency tests again under ThreadSanitizer (SENT_SANITIZE=thread),
+# an ASan+UBSan pass over the failure-surface and dispatch-parity tests, a
+# chaos smoke run so the injected-fault paths are exercised on every
+# verify, and the interpreter-throughput gate (ext_sim).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +12,14 @@ JOBS="${JOBS:-$(nproc)}"
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+# Parity configuration: the retained closure/boxed substrate as the build
+# default. The whole suite must stay green when every world is built on
+# the reference engine — this is what keeps the bytecode core honest
+# (DESIGN.md §12).
+cmake -B build-refdispatch -S . -DSENT_REFERENCE_DISPATCH=ON
+cmake --build build-refdispatch -j "${JOBS}"
+ctest --test-dir build-refdispatch --output-on-failure -j "${JOBS}"
 
 # ThreadSanitizer pass over the concurrency layer. Only the concurrency
 # test binaries are built in this tree; they are run directly (gtest
@@ -33,7 +42,8 @@ cmake --build build-tsan -j "${JOBS}" \
 cmake -B build-asan -S . -DSENT_SANITIZE=address,undefined
 cmake --build build-asan -j "${JOBS}" \
   --target fault_test serialize_test campaign_test cli_test obs_test \
-  interval_property_test golden_fig5_test
+  interval_property_test golden_fig5_test sim_test bytecode_test \
+  dispatch_parity_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/serialize_test
 ./build-asan/tests/campaign_test
@@ -41,6 +51,13 @@ cmake --build build-asan -j "${JOBS}" \
 ./build-asan/tests/obs_test
 ./build-asan/tests/interval_property_test
 ./build-asan/tests/golden_fig5_test
+# The interpreter core and event engine under ASan/UBSan: the slab slots,
+# the deferred-inline path, and the cross-substrate parity suite are
+# exactly where lifetime bugs would hide (closures moved out of slots
+# mid-flight, spilled wake-ups, operand-pool pointers).
+./build-asan/tests/sim_test
+./build-asan/tests/bytecode_test
+./build-asan/tests/dispatch_parity_test
 
 # Chaos smoke: a small fault-intensity grid end to end. Exits nonzero on
 # any process abort, nondeterminism across thread counts, or a clean row
@@ -70,4 +87,15 @@ cmp build/metrics_j1.json build/metrics_j2.json
 ./build/bench/micro_perf --quick --ml-json build/BENCH_ml.json
 test -s build/BENCH_ml.json
 
-echo "tier-1 OK (incl. TSan concurrency/obs + ASan/UBSan fault-surface/property/golden + chaos + obs + ML parity smoke)"
+# Interpreter-throughput gate: both dispatch engines on the three Fig-5
+# cases. ext_sim exits nonzero if any serialized trace or ranking differs
+# between the engines, if any case's speedup falls below the floor, or if
+# the bytecode engine's virtual-MIPS drops below the floor. Floors are
+# set well under the recorded numbers (BENCH_sim.json: ~7-11x, 96-190
+# vMIPS) to absorb machine noise while still catching a fused-dispatch or
+# event-pool regression, which lands at ~2x / ~20 vMIPS.
+./build/bench/ext_sim --reps 3 --min-speedup 4.0 --min-mips 50 \
+  --json build/BENCH_sim_smoke.json
+test -s build/BENCH_sim_smoke.json
+
+echo "tier-1 OK (incl. reference-dispatch suite + TSan concurrency/obs + ASan/UBSan fault-surface/property/golden/dispatch-parity + chaos + obs + ML parity + vMIPS gate)"

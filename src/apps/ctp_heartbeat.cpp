@@ -29,9 +29,12 @@ void CtpHeartbeatApp::build_code() {
   // Mirrors the TinyOS forwarding engine's sendTask structure.
   {
     mcu::CodeBuilder b("CtpForwardingEngine.sendTask", /*is_task=*/true);
-    b.ret_if("guard_sending", [this] { return ctp_->sending(); });
+    b.ret_if_flag("guard_sending", sending_mirror_, true);
     b.ret_if("guard_empty", [this] { return !ctp_->has_pending(); });
-    b.instr("set_sending", [this] { ctp_->mark_sending(); });
+    b.instr("set_sending", [this] {
+      ctp_->mark_sending();
+      sending_mirror_ = true;
+    });
     b.branch_if(
         "subsend_call",
         [this] {
@@ -45,6 +48,7 @@ void CtpHeartbeatApp::build_code() {
       // Buggy variant: on_send_fail leaves `sending` set — the hang.
       // Fixed variant: it clears the mark; we arm a retry below.
       if (ctp_->on_send_fail()) node_.mark_bug("ctp-hang");
+      sending_mirror_ = ctp_->sending();
       if (config_.fixed && !node_.timers().running(retry_line_))
         node_.timers().start_oneshot(retry_line_, config_.retry_delay);
     });
@@ -57,37 +61,32 @@ void CtpHeartbeatApp::build_code() {
     mcu::CodeBuilder b("Radio.SpiHandler", /*is_task=*/false);
     b.label("top");
     b.ret_if("empty", [this] { return !chip_.has_event(); });
-    b.instr("take", [this] { event_ = chip_.take_event(); });
-    b.branch_if(
-        "is_txdone",
-        [this] {
-          return event_.kind == hw::RadioChip::Event::Kind::TxDone;
-        },
+    b.instr("take", [this] {
+      event_ = chip_.take_event();
+      ev_kind_ = static_cast<std::uint32_t>(event_.kind);
+      ev_am_ = event_.packet.am_type;
+    });
+    b.branch_if_u32(
+        "is_txdone", ev_kind_, mcu::Cmp::Eq,
+        static_cast<std::uint32_t>(hw::RadioChip::Event::Kind::TxDone),
         "txdone");
-    b.branch_if(
-        "is_beacon",
-        [this] { return event_.packet.am_type == proto::am::kCtpBeacon; },
-        "beacon");
-    b.branch_if(
-        "is_heartbeat",
-        [this] { return event_.packet.am_type == proto::am::kHeartbeat; },
-        "heartbeat");
-    b.branch_if(
-        "is_data",
-        [this] { return event_.packet.am_type == proto::am::kCtpData; },
-        "data");
+    b.branch_if_u32("is_beacon", ev_am_, mcu::Cmp::Eq, proto::am::kCtpBeacon,
+                    "beacon");
+    b.branch_if_u32("is_heartbeat", ev_am_, mcu::Cmp::Eq,
+                    proto::am::kHeartbeat, "heartbeat");
+    b.branch_if_u32("is_data", ev_am_, mcu::Cmp::Eq, proto::am::kCtpData,
+                    "data");
     b.jump("unknown", "top");
 
     b.label("txdone");
     // Only CTP data sends are tracked by the forwarding engine; beacon and
     // heartbeat transmissions are fire-and-forget.
-    b.branch_if(
-        "txdone_not_data",
-        [this] { return event_.packet.am_type != proto::am::kCtpData; },
-        "top");
+    b.branch_if_u32("txdone_not_data", ev_am_, mcu::Cmp::Ne,
+                    proto::am::kCtpData, "top");
     b.instr("senddone", [this] {
       if (ctp_->on_send_done(event_.status))
         node_.kernel().post(send_task_);
+      sending_mirror_ = ctp_->sending();
     });
     b.jump("txdone_next", "top");
 
@@ -131,32 +130,45 @@ void CtpHeartbeatApp::build_code() {
   // --- report timer handler (the anatomized event procedure) -----------------
   {
     mcu::CodeBuilder b("ReportTimer.fired", /*is_task=*/false);
-    b.ret_if("check_active",
-             [this] { return !(config_.is_source && event_active_); });
+    // Only an active source samples. event_active_ is flipped by the event
+    // process, which start() runs for sources only — on every other node
+    // the flag stays false, so the one flag test covers both roles.
+    b.ret_if_flag("check_active", event_active_, false);
     b.instr("sample", [this] {
       reading_ = static_cast<std::uint16_t>(rng_.below(1024));
+      reading32_ = reading_;
       ++reports_attempted_;
     });
     // Value-dependent calibration path: natural per-interval variation in
     // the instruction counter of normal instances.
-    b.branch_if("range_check", [this] { return reading_ < 512; },
-                "low_range");
-    b.instr("calibrate_high", [this] {
-      reading_ = static_cast<std::uint16_t>(reading_ - 1);
-    });
+    b.branch_if_u32("range_check", reading32_, mcu::Cmp::Lt, 512,
+                    "low_range");
+    b.add_u16("calibrate_high", reading_, 0xFFFF);  // reading_ -= 1
     b.label("low_range");
     // Bit-serial encoding loop (work proportional to set bits): natural
-    // per-interval variation in the instruction counter.
-    b.instr("enc_init", [this] { enc_tmp_ = reading_; });
+    // per-interval variation in the instruction counter. With
+    // encode_words > 1 an outer pass repeats the encode once per payload
+    // word; at 1 the emitted shape (and so the trace) is unchanged.
+    const bool multi_word = config_.encode_words > 1;
+    if (multi_word) {
+      rounds_init_ = static_cast<std::uint16_t>(config_.encode_words);
+      b.mov_u16("enc_rounds_init", enc_rounds_, rounds_init_);
+      b.label("word_top");
+    }
+    b.mov_u16("enc_init", enc_tmp_, reading_);
     b.label("enc_top");
-    b.branch_if("enc_done", [this] { return enc_tmp_ == 0; }, "enc_out");
-    b.instr("enc_step", [this] { enc_tmp_ &= (enc_tmp_ - 1); });
+    b.branch_if_u16("enc_done", enc_tmp_, mcu::Cmp::Eq, 0, "enc_out");
+    b.clear_lsb_u16("enc_step", enc_tmp_);
     b.jump("enc_loop", "enc_top");
     b.label("enc_out");
+    if (multi_word) {
+      b.add_u16("word_done", enc_rounds_, 0xFFFF);  // enc_rounds_ -= 1
+      b.branch_if_u16("word_next", enc_rounds_, mcu::Cmp::Ne, 0, "word_top");
+    }
     b.branch_if(
         "enqueue",
         [this] { return !ctp_->enqueue_local(reading_); }, "dropped");
-    b.ret_if("engine_busy", [this] { return ctp_->sending(); });
+    b.ret_if_flag("engine_busy", sending_mirror_, true);
     b.instr("post_send", [this] { node_.kernel().post(send_task_); });
     b.ret("done");
     b.label("dropped");
@@ -211,8 +223,13 @@ void CtpHeartbeatApp::start() {
   node_.timers().start_periodic(heartbeat_line_, config_.heartbeat_period,
                                 phase(config_.heartbeat_period));
   if (config_.is_source) {
+    sim::Cycle report_phase =
+        config_.report_stagger != 0
+            ? config_.report_period +
+                  static_cast<sim::Cycle>(node_.id()) * config_.report_stagger
+            : phase(config_.report_period);
     node_.timers().start_periodic(report_line_, config_.report_period,
-                                  phase(config_.report_period));
+                                  report_phase);
     schedule_event_flip();
   }
 }

@@ -47,6 +47,21 @@ struct CtpHeartbeatConfig {
   sim::Cycle mean_event_on = sim::cycles_from_millis(3000);
   sim::Cycle mean_event_off = sim::cycles_from_millis(1500);
 
+  /// Words of sensing payload the report handler encodes per sample. At 1
+  /// (the default) the handler bit-encodes just the reading, exactly the
+  /// original shape; larger values wrap the encode loop in an outer
+  /// per-word pass, modelling nodes that report multi-word records. This
+  /// is the report path's instruction-density knob, like case II's
+  /// payload range (the benches crank it; the bug is width-agnostic).
+  std::size_t encode_words = 1;
+
+  /// When nonzero, the report timer's initial phase is deterministic:
+  /// period + node_id * report_stagger, instead of the random phase. Spaces
+  /// the sources' report handlers apart in virtual time so their
+  /// instruction chains don't interleave — a benchmarking aid (the bug does
+  /// not depend on report phasing).
+  sim::Cycle report_stagger = 0;
+
   /// Repaired variant: handle FAIL and retry after `retry_delay`.
   bool fixed = false;
   sim::Cycle retry_delay = sim::cycles_from_millis(10);
@@ -92,9 +107,20 @@ class CtpHeartbeatApp {
   trace::TaskId send_task_ = 0;
 
   hw::RadioChip::Event event_{};
+  // Typed-op mirrors of the taken event, refreshed by the SPI handler's
+  // "take" instruction so the dispatch branches read plain u32 state.
+  std::uint32_t ev_kind_ = 0;  ///< static_cast of event_.kind
+  std::uint32_t ev_am_ = 0;    ///< event_.packet.am_type
+  /// Mirror of ctp_->sending(), refreshed by every host instruction that
+  /// can change it (set_sending / handle_fail / senddone), so the sendTask
+  /// and report-timer guards are plain flag tests.
+  bool sending_mirror_ = false;
   bool event_active_ = false;
   std::uint16_t reading_ = 0;
-  std::uint16_t enc_tmp_ = 0;  ///< encoding-loop scratch register
+  std::uint32_t reading32_ = 0;  ///< u32 mirror for the range_check branch
+  std::uint16_t enc_tmp_ = 0;    ///< encoding-loop scratch register
+  std::uint16_t enc_rounds_ = 0;  ///< outer-loop counter (encode_words > 1)
+  std::uint16_t rounds_init_ = 0;  ///< constant source: config.encode_words
   std::uint64_t reports_attempted_ = 0, beacons_sent_ = 0,
                 beacons_skipped_ = 0;
 

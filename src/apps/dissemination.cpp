@@ -35,7 +35,7 @@ void DisseminationApp::build_code() {
   // Applies a pending update. Step order is THE bug (see header).
   {
     mcu::CodeBuilder b("adoptTask", /*is_task=*/true);
-    b.ret_if("guard_pending", [this] { return !adopt_pending_; });
+    b.ret_if_flag("guard_pending", adopt_pending_, false);
     b.instr("write_first", [this] {
       if (config_.fixed) {
         value_ = pend_value_;  // publish ordering: payload first
@@ -44,14 +44,13 @@ void DisseminationApp::build_code() {
         version_ahead_of_value_ = true;
       }
     });
-    b.instr("flash_begin",
-            [this] { flash_remaining_ = config_.flash_commit_iterations; });
+    b.set_u32("flash_begin", flash_remaining_,
+              config_.flash_commit_iterations);
     b.label("flash_loop");
-    b.instr(
-        "flash_program", [this] { --flash_remaining_; },
-        config_.flash_commit_iteration_cost);
-    b.branch_if("flash_more", [this] { return flash_remaining_ > 0; },
-                "flash_loop");
+    b.add_u32("flash_program", flash_remaining_, ~std::uint32_t{0},  // -= 1
+              config_.flash_commit_iteration_cost);
+    b.branch_if_u32("flash_more", flash_remaining_, mcu::Cmp::Ne, 0,
+                    "flash_loop");
     b.instr("write_second", [this] {
       if (config_.fixed) {
         version_ = pend_version_;  // version last: torn reads are harmless

@@ -66,16 +66,17 @@ void RelayApp::build_buggy() {
   b.ret_if("empty", [this] { return !chip_.has_event(); });
   b.instr("take", [this] {
     event_ = chip_.take_event();
+    csum_len_ = static_cast<std::uint32_t>(event_.packet.payload.size());
+    seq_mod8_ = event_.packet.seq % 8u;
     ++received_;
   });
   // Software checksum over the payload before forwarding: one loop
-  // iteration per byte, so the counter varies with packet length.
-  b.instr("csum_init", [this] { csum_pos_ = 0; });
+  // iteration per byte, so the counter varies with packet length. The loop
+  // itself is typed bytecode; only the bound is loaded by the host call.
+  b.set_u32("csum_init", csum_pos_, 0);
   b.label("csum_top");
-  b.branch_if("csum_done",
-              [this] { return csum_pos_ >= event_.packet.payload.size(); },
-              "csum_out");
-  b.instr("csum_step", [this] { ++csum_pos_; });
+  b.branch_if_u32_ge("csum_done", csum_pos_, csum_len_, "csum_out");
+  b.add_u32("csum_step", csum_pos_, 1);
   b.jump("csum_loop", "csum_top");
   b.label("csum_out");
   b.instr("prepare_forward", [this] {
@@ -83,8 +84,7 @@ void RelayApp::build_buggy() {
   });
   // Periodic link-statistics bookkeeping (every 8th sequence number), the
   // kind of data-dependent path real forwarding code has.
-  b.branch_if("stats_check",
-              [this] { return event_.packet.seq % 8 != 0; }, "no_stats");
+  b.branch_if_u32("stats_check", seq_mod8_, mcu::Cmp::Ne, 0, "no_stats");
   b.instr("update_stats", [] {});
   b.label("no_stats");
   b.instr("amsend_call", [this] {

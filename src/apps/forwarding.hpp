@@ -89,7 +89,9 @@ class RelayApp {
   RelayConfig config_;
   hw::RadioChip::Event event_{};
   std::deque<net::Packet> queue_;  // fixed variant only
-  std::size_t csum_pos_ = 0;       // checksum-loop scratch register
+  std::uint32_t csum_pos_ = 0;     // checksum-loop scratch register
+  std::uint32_t csum_len_ = 0;     // payload length of the taken packet
+  std::uint32_t seq_mod8_ = 0;     // event_.packet.seq % 8, set by "take"
   std::uint64_t received_ = 0, forwarded_ = 0, dropped_busy_ = 0,
                 dropped_full_ = 0;
 

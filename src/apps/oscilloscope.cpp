@@ -39,21 +39,21 @@ void OscilloscopeApp::build_code() {
         ++skipped_busy_;
       }
     });
-    b.instr("clear_pending", [this] { send_pending_ = false; });
+    b.set_flag("clear_pending", send_pending_, false);
     mcu::CodeId id = b.build(prog);
     send_task_ = kernel.register_task(id);
   }
 
   // --- task heavyTask ------------------------------------------------------
   // The "heavy-weighted event procedure" body: a long computation loop.
+  // Pure counter arithmetic, so the whole task compiles to typed bytecode.
   {
     mcu::CodeBuilder b("heavyTask", /*is_task=*/true);
-    b.instr("init", [this] { heavy_remaining_ = config_.heavy_iterations; });
+    b.set_u32("init", heavy_remaining_, config_.heavy_iterations);
     b.label("loop");
-    b.instr(
-        "work", [this] { --heavy_remaining_; },
-        config_.heavy_iteration_cost);
-    b.branch_if("more", [this] { return heavy_remaining_ > 0; }, "loop");
+    b.add_u32("work", heavy_remaining_, ~std::uint32_t{0},  // -= 1
+              config_.heavy_iteration_cost);
+    b.branch_if_u32("more", heavy_remaining_, mcu::Cmp::Ne, 0, "loop");
     mcu::CodeId id = b.build(prog);
     heavy_task_ = kernel.register_task(id);
   }
@@ -92,13 +92,13 @@ void OscilloscopeApp::build_code() {
     // code, giving the counter near-continuous variation across intervals.
     b.instr("enc_init", [this] { enc_tmp_ = packet_data_[data_item_]; });
     b.label("enc_top");
-    b.branch_if("enc_done", [this] { return enc_tmp_ == 0; }, "enc_out");
-    b.instr("enc_step", [this] { enc_tmp_ &= (enc_tmp_ - 1); });
+    b.branch_if_u16("enc_done", enc_tmp_, mcu::Cmp::Eq, 0, "enc_out");
+    b.clear_lsb_u16("enc_step", enc_tmp_);
     b.jump("enc_loop", "enc_top");
     b.label("enc_out");
-    b.instr("inc_item", [this] { ++data_item_; });
-    b.ret_if("check_three", [this] { return data_item_ != 3; });
-    b.instr("reset_item", [this] { data_item_ = 0; });
+    b.add_u32("inc_item", data_item_, 1);
+    b.ret_if_u32("check_three", data_item_, mcu::Cmp::Ne, 3);
+    b.set_u32("reset_item", data_item_, 0);
     b.instr("post_send", [this] {
       if (config_.fixed) send_buffer_ = packet_data_;  // commit a copy
       send_pending_ = true;

@@ -91,6 +91,7 @@ Case1Result run_case1(const Case1Config& config) {
     attach_node_faults(injector, sensor_node, sensor_chip);
 
     queue.run_until(sim::cycles_from_seconds(config.run_seconds));
+    result.events_executed += queue.executed();
 
     Case1Run run;
     run.sample_period_ms = d_ms;
@@ -142,6 +143,8 @@ Case2Result run_case2(const Case2Config& config) {
   RandomSourceConfig src_config;
   src_config.dst = 1;
   src_config.mean_interval = sim::cycles_from_millis(config.mean_interval_ms);
+  src_config.min_payload_bytes = config.min_payload_bytes;
+  src_config.max_payload_bytes = config.max_payload_bytes;
   RandomSourceApp source(source_node, source_chip, src_config,
                          rng.substream("source"));
 
@@ -159,6 +162,7 @@ Case2Result run_case2(const Case2Config& config) {
   queue.run_until(sim::cycles_from_seconds(config.run_seconds));
 
   Case2Result result;
+  result.events_executed = queue.executed();
   result.relay_tx_airtime = relay_chip.tx_airtime();
   result.relay_trace = relay_node.take_trace();
   result.source_sent = source.sent();
@@ -230,6 +234,7 @@ Case3Result run_case3(const Case3Config& config) {
   queue.run_until(sim::cycles_from_seconds(config.run_seconds));
 
   Case3Result result;
+  result.events_executed = queue.executed();
   result.sources = sources;
   result.report_line = ctp_apps[0]->report_line();
   for (std::size_t i = 0; i < n; ++i) {
@@ -336,6 +341,7 @@ Case4Result run_case4(const Case4Config& config) {
   queue.run_until(sim::cycles_from_seconds(config.run_seconds));
 
   Case4Result result;
+  result.events_executed = queue.executed();
   result.corruption_node_seconds = corruption_node_seconds;
   result.trickle_line = diss_apps[0]->trickle_line();
   result.published_version = static_cast<std::uint16_t>(injected);

@@ -62,6 +62,7 @@ struct Case1Run {
 
 struct Case1Result {
   std::vector<Case1Run> runs;
+  std::uint64_t events_executed = 0;  ///< summed over all sample periods
   std::uint64_t total_pollutions() const;
 };
 
@@ -76,6 +77,12 @@ struct Case2Config {
   bool fixed = false;
   fault::FaultPlan faults;
   std::uint64_t event_budget = 0;
+
+  /// Payload size range for the source's packets. The relay checksums one
+  /// byte per loop iteration before forwarding, so payload size directly
+  /// sets the run's instruction density (perf benches crank it up).
+  std::size_t min_payload_bytes = 4;
+  std::size_t max_payload_bytes = 16;
 
   /// Channel impairments (default: clean). Gilbert-Elliott, when set,
   /// overrides the iid loss rate.
@@ -110,6 +117,7 @@ struct Case2Result {
   std::uint64_t relay_forwarded = 0;
   std::uint64_t relay_dropped_busy = 0;
   std::uint64_t sink_received = 0;
+  std::uint64_t events_executed = 0;
   sim::Cycle relay_tx_airtime = 0;  ///< for energy accounting
 };
 
@@ -148,6 +156,7 @@ struct Case3Result {
   trace::IrqLine report_line = 0;
   std::vector<Case3NodeStats> stats;  ///< indexed by node id
   std::uint64_t delivered_to_root = 0;
+  std::uint64_t events_executed = 0;
   std::size_t hung_nodes() const;
 };
 
@@ -192,6 +201,7 @@ struct Case4Result {
   std::vector<Case4NodeStats> stats;     ///< indexed by node id
   std::uint16_t published_version = 0;
   std::uint64_t updates_injected = 0;
+  std::uint64_t events_executed = 0;
   /// Integrated damage: node-seconds spent holding a value that disagrees
   /// with the published value for the node's own version (sampled at 2 Hz
   /// by the environment). A torn adoption corrupts a node until the NEXT

@@ -36,7 +36,9 @@ bool AdcDevice::request_read() {
     latency = mean_latency_ - jitter_ +
               static_cast<sim::Cycle>(rng_.below(2 * jitter_ + 1));
   }
-  queue_.schedule_after(latency, [this] {
+  // Conversion-complete is never cancelled, so it can ride the queue's
+  // deferred-inline path when it turns out to be the next event.
+  queue_.schedule_or_inline(queue_.now() + latency, [this] {
     busy_ = false;
     value_ = sensor_(queue_.now());
     ++conversions_;

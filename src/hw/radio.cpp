@@ -120,7 +120,7 @@ sim::Cycle RadioChip::schedule_control(net::Packet frame) {
       std::max(queue_.now() + params_.turnaround, antenna_free_at_);
   antenna_free_at_ = start + air;
   tx_airtime_ += air;
-  queue_.schedule_at(start, [this, frame = std::move(frame), air] {
+  queue_.schedule_or_inline(start, [this, frame = std::move(frame), air] {
     channel_.transmit(node_id_, frame, air);
   });
   return antenna_free_at_;
@@ -277,7 +277,7 @@ void RadioChip::complete(TxStatus status) {
   } else {
     // The busy flag outlives the on-air exchange by the firmware's
     // post-processing time; send() keeps failing meanwhile.
-    queue_.schedule_after(params_.post_tx_hold, finish);
+    queue_.schedule_or_inline(queue_.now() + params_.post_tx_hold, finish);
   }
 }
 
@@ -312,7 +312,7 @@ void RadioChip::on_frame(const net::Packet& frame) {
       // Latch the transition now so a duplicate CTS during the turnaround
       // cannot schedule a second data transmission.
       state_ = TxState::SendData;
-      queue_.schedule_after(params_.turnaround, [this] {
+      queue_.schedule_or_inline(queue_.now() + params_.turnaround, [this] {
         if (state_ == TxState::SendData && busy_) send_data();
       });
       return;
@@ -359,7 +359,7 @@ void RadioChip::on_frame(const net::Packet& frame) {
         ack.dst = frame.src;
         ack.seq = frame.seq;
         sim::Cycle done = schedule_control(std::move(ack));
-        queue_.schedule_at(done, [this, frame] {
+        queue_.schedule_or_inline(done, [this, frame] {
           push_event(Event{Event::Kind::RxDone, frame, TxStatus::Success});
         });
       } else {

@@ -25,7 +25,24 @@ struct Metrics {
 
 Machine::Machine(sim::EventQueue& queue, trace::Recorder& recorder,
                  const Program& program)
-    : queue_(queue), recorder_(recorder), program_(program) {}
+    : queue_(queue),
+      recorder_(recorder),
+      program_(program),
+      bytecode_(sim::dispatch_mode() == sim::DispatchMode::Bytecode) {}
+
+Machine::~Machine() { flush_metrics(); }
+
+void Machine::flush_metrics() {
+  if (pending_raises_ == 0 && pending_delivered_ == 0 &&
+      pending_dropped_ == 0) {
+    return;
+  }
+  const Metrics& m = Metrics::get();
+  if (pending_raises_ != 0) m.raises.inc(pending_raises_);
+  if (pending_delivered_ != 0) m.delivered.inc(pending_delivered_);
+  if (pending_dropped_ != 0) m.dropped.inc(pending_dropped_);
+  pending_raises_ = pending_delivered_ = pending_dropped_ = 0;
+}
 
 void Machine::set_task_provider(TaskProvider* provider) {
   SENT_REQUIRE(provider != nullptr);
@@ -38,6 +55,10 @@ void Machine::register_handler(trace::IrqLine line, CodeId handler) {
                    "line " << int(line) << " already has a handler");
   SENT_REQUIRE_MSG(!program_.code(handler).is_task,
                    "cannot bind a task as an interrupt handler");
+  SENT_REQUIRE_MSG(program_.code(handler).built_for == mode(),
+                   "code object " << program_.code(handler).name
+                                  << " was built for a different dispatch "
+                                     "mode than this machine");
   handlers_[line] = handler;
 }
 
@@ -45,20 +66,20 @@ void Machine::raise_irq(trace::IrqLine line) {
   SENT_REQUIRE(line < 64);
   SENT_REQUIRE_MSG(handlers_[line] != kNoHandler,
                    "IRQ raised on unbound line " << int(line));
-  Metrics::get().raises.inc();
+  ++pending_raises_;
   if (irq_drop_hook_ && irq_drop_hook_(line)) {
     ++irqs_dropped_;
-    Metrics::get().dropped.inc();
+    ++pending_dropped_;
     return;
   }
   pending_ |= (1ULL << line);
   // If this raise happens from inside an executing instruction, the current
   // step schedules its own continuation and will see the pending bit there.
-  if (!step_scheduled_ && !in_step_) schedule_step(costs_.wakeup);
+  if (!step_scheduled_ && !in_step_) wake(costs_.wakeup);
 }
 
 void Machine::notify_task_posted() {
-  if (!step_scheduled_ && !in_step_) schedule_step(costs_.wakeup);
+  if (!step_scheduled_ && !in_step_) wake(costs_.wakeup);
 }
 
 void Machine::disable_interrupts() { ++atomic_depth_; }
@@ -71,7 +92,7 @@ void Machine::enable_interrupts() {
   // next step boundary; make sure one is scheduled if we are between
   // steps (enable from outside an instruction is unusual but legal).
   if (atomic_depth_ == 0 && pending_ != 0 && !step_scheduled_ && !in_step_)
-    schedule_step(costs_.wakeup);
+    wake(costs_.wakeup);
 }
 
 std::vector<trace::IrqLine> Machine::bound_lines() const {
@@ -96,6 +117,24 @@ void Machine::schedule_step(std::uint32_t delay) {
   });
 }
 
+void Machine::wake(std::uint32_t delay) {
+  SENT_ASSERT(!step_scheduled_);
+  step_scheduled_ = true;
+  auto fire = [this] {
+    step_scheduled_ = false;
+    step();
+  };
+  // Wake-ups are raised from inside device event closures; on the bytecode
+  // substrate they ride the queue's deferred-inline path and usually skip
+  // the heap entirely. The reference engine keeps the scheduled round-trip
+  // (its pre-bytecode cost profile).
+  if (bytecode_) {
+    queue_.schedule_or_inline(queue_.now() + delay, fire);
+  } else {
+    queue_.schedule_after(delay, fire);
+  }
+}
+
 int Machine::deliverable_irq() const {
   if (pending_ == 0 || atomic_depth_ > 0) return -1;
   bool in_handler = !frames_.empty() && frames_.back().is_handler;
@@ -110,63 +149,266 @@ int Machine::deliverable_irq() const {
   return -1;
 }
 
-void Machine::step() {
-  struct StepGuard {
-    bool& flag;
-    explicit StepGuard(bool& f) : flag(f) { flag = true; }
-    ~StepGuard() { flag = false; }
-  } guard(in_step_);
+/// Bytecode dispatch: one fixed-size record per instruction, executed by a
+/// dense switch. Branch targets are pre-resolved word offsets; end-of-object
+/// branches were rewritten to kRetIf* at build time, so no taken branch
+/// needs a range check here.
+///
+/// Typed ops (everything past the four host-class ops) touch only plain
+/// application state: they cannot schedule or cancel events, raise IRQs,
+/// post tasks, or enter atomic sections. So once the event queue grants an
+/// InlineAllowance, a run of typed ops executes in this one fused loop —
+/// each step still recorded at its exact cycle and still charged against
+/// the watchdog budget, but with no queue traffic and no trip through the
+/// step ladder in between. The loop falls back to the outer ladder at the
+/// first host-class op, frame exit, or allowance boundary.
+std::uint32_t Machine::exec_bytecode(Frame& frame, const CodeObject& code) {
+  const Word* const words = code.words.data();
+  const auto end = static_cast<std::uint32_t>(code.words.size());
+  std::uint32_t pc = frame.pc;
+  sim::Cycle now = queue_.now();
+  std::uint64_t fused = 0;  // steps executed beyond the one we entered with
+  // Fuse window, resolved lazily on the first typed continuation: a step
+  // at time `at` may run inline iff steps_left > 0 and at <= inline_until.
+  bool allow_known = false;
+  sim::Cycle inline_until = 0;
+  std::uint64_t steps_left = 0;
+  // Trace records batch through a stack buffer: appending straight to the
+  // recorder would force the vector's size/capacity back through memory on
+  // every iteration (the typed stores may alias anything heap-allocated).
+  constexpr std::size_t kBuf = 128;
+  trace::InstrExec buf[kBuf];
+  std::size_t buffered = 0;
+  std::vector<trace::InstrExec>& sink = recorder_.instr_sink();
+  const auto flush = [&] {
+    sink.insert(sink.end(), buf, buf + buffered);
+    buffered = 0;
+  };
 
+  for (;;) {
+    const Word* w = words + pc;
+    const Op op = static_cast<Op>(w[0]);
+    const Word a = w[3];
+    const Word b = w[4];
+    std::uint32_t next = pc + kInstrWords;
+
+    if (op <= Op::kRetIfHost) {
+      // Host-class op: the closure may schedule events, raise IRQs or post
+      // tasks, so settle the fused run's clock and trace before calling it
+      // and let the outer ladder take over afterwards. It cannot mutate
+      // the frame stack; `frame` and `w` stay valid.
+      flush();
+      if (fused != 0) queue_.commit_inline(now, fused);
+      recorder_.on_instr(now, w[2]);
+      switch (op) {
+        case Op::kCallHost: {
+          const StepAction action = code.hosts[a]();
+          switch (action.kind) {
+            case StepAction::Kind::Next:
+              break;
+            case StepAction::Kind::Jump:
+              next = action.target * kInstrWords;
+              SENT_ASSERT_MSG(next < end,
+                              "jump target out of range in " << code.name);
+              break;
+            case StepAction::Kind::Return:
+              next = end;
+              break;
+          }
+          break;
+        }
+        case Op::kHostAction:
+          code.actions[a]();
+          break;
+        case Op::kBranchIfHost:
+          if (code.preds[a]()) next = w[5];
+          break;
+        default:  // Op::kRetIfHost
+          if (code.preds[a]()) next = end;
+          break;
+      }
+      frame.pc = next;
+      return w[1];
+    }
+
+    if (buffered == kBuf) flush();
+    buf[buffered++] = {now, w[2]};
+    switch (op) {
+      case Op::kJump:
+        next = w[5];
+        break;
+      case Op::kRet:
+        next = end;
+        break;
+      case Op::kSetFlag:
+        *code.flags[a] = b != 0;
+        break;
+      case Op::kBranchIfFlag:
+        if (*code.flags[a] == (b != 0)) next = w[5];
+        break;
+      case Op::kRetIfFlag:
+        if (*code.flags[a] == (b != 0)) next = end;
+        break;
+      case Op::kAddU32:
+        *code.u32s[a] += b;
+        break;
+      case Op::kSetU32:
+        *code.u32s[a] = b;
+        break;
+      case Op::kAddU64:
+        *code.u64s[a] += b;
+        break;
+      case Op::kAddU16: {
+        std::uint16_t* p = code.u16s[a];
+        *p = static_cast<std::uint16_t>(*p + b);
+        break;
+      }
+      case Op::kMovU16:
+        *code.u16s[a] = *code.u16s[b];
+        break;
+      case Op::kClearLsbU16: {
+        std::uint16_t* p = code.u16s[a];
+        *p = static_cast<std::uint16_t>(*p & (*p - 1));
+        break;
+      }
+      case Op::kBranchIfU32Eq:
+        if (*code.u32s[a] == b) next = w[5];
+        break;
+      case Op::kBranchIfU32Ne:
+        if (*code.u32s[a] != b) next = w[5];
+        break;
+      case Op::kBranchIfU32Lt:
+        if (*code.u32s[a] < b) next = w[5];
+        break;
+      case Op::kBranchIfU32Ge:
+        if (*code.u32s[a] >= b) next = w[5];
+        break;
+      case Op::kRetIfU32Eq:
+        if (*code.u32s[a] == b) next = end;
+        break;
+      case Op::kRetIfU32Ne:
+        if (*code.u32s[a] != b) next = end;
+        break;
+      case Op::kRetIfU32Lt:
+        if (*code.u32s[a] < b) next = end;
+        break;
+      case Op::kRetIfU32Ge:
+        if (*code.u32s[a] >= b) next = end;
+        break;
+      case Op::kBranchIfU16Eq:
+        if (*code.u16s[a] == b) next = w[5];
+        break;
+      case Op::kBranchIfU16Ne:
+        if (*code.u16s[a] != b) next = w[5];
+        break;
+      case Op::kRetIfU16Eq:
+        if (*code.u16s[a] == b) next = end;
+        break;
+      case Op::kRetIfU16Ne:
+        if (*code.u16s[a] != b) next = end;
+        break;
+      case Op::kBranchIfU32GeMem:
+        if (*code.u32s[a] >= *code.u32s[b]) next = w[5];
+        break;
+      default:  // Op::kRetIfU32GeMem
+        if (*code.u32s[a] >= *code.u32s[b]) next = end;
+        break;
+    }
+
+    const std::uint32_t cost = w[1];
+    if (next >= end) {
+      // Frame exit: retirement is its own step with recorder + frame-stack
+      // effects; hand it to the outer ladder.
+      flush();
+      if (fused != 0) queue_.commit_inline(now, fused);
+      frame.pc = next;
+      return cost;
+    }
+    if (!allow_known) {
+      allow_known = true;
+      sim::InlineAllowance allow;
+      // Strict `<` against the next live event keeps FIFO order at equal
+      // timestamps (an already-queued event beats a continuation scheduled
+      // now), hence the -1 folded into the single bound below.
+      if (queue_.inline_allowance(allow) && allow.next_event != 0) {
+        inline_until = std::min(allow.horizon, allow.next_event - 1);
+        steps_left = allow.steps;
+      }
+    }
+    const sim::Cycle at = now + cost;
+    if (steps_left == 0 || at > inline_until) {
+      flush();
+      if (fused != 0) queue_.commit_inline(now, fused);
+      frame.pc = next;
+      return cost;
+    }
+    --steps_left;
+    ++fused;
+    now = at;
+    pc = next;
+  }
+}
+
+/// Reference dispatch: the pre-bytecode closure-per-instruction path, kept
+/// for parity testing.
+std::uint32_t Machine::exec_reference(Frame& frame, const CodeObject& code) {
+  const Instr& instr = code.ref_instrs[frame.pc];
+  recorder_.on_instr(queue_.now(), instr.global_id);
+  StepAction action = instr.fn();
+  // NOTE: instr.fn may post tasks or raise IRQs (via devices) but cannot
+  // mutate the frame stack; `frame` stays valid.
+  switch (action.kind) {
+    case StepAction::Kind::Next:
+      ++frame.pc;
+      break;
+    case StepAction::Kind::Jump:
+      SENT_ASSERT_MSG(action.target < code.ref_instrs.size(),
+                      "jump target out of range in " << code.name);
+      frame.pc = action.target;
+      break;
+    case StepAction::Kind::Return:
+      frame.pc = static_cast<std::uint32_t>(code.ref_instrs.size());
+      break;
+  }
+  return instr.cost;
+}
+
+bool Machine::step_once(std::uint32_t& delay) {
   // 1. Interrupt delivery wins over everything (Rule 2).
   if (int line = deliverable_irq(); line >= 0) {
     pending_ &= ~(1ULL << line);
     ++ints_delivered_;
-    Metrics::get().delivered.inc();
+    ++pending_delivered_;
     recorder_.on_int(queue_.now(), static_cast<trace::IrqLine>(line));
     frames_.push_back(Frame{handlers_[static_cast<std::size_t>(line)], 0,
                             /*is_handler=*/true,
                             static_cast<trace::IrqLine>(line), 0});
-    schedule_step(costs_.int_entry);
-    return;
+    delay = costs_.int_entry;
+    return true;
   }
 
   // 2. Execute / retire the active frame.
   if (!frames_.empty()) {
     Frame& frame = frames_.back();
     const CodeObject& code = program_.code(frame.code);
-    if (frame.pc >= code.instrs.size()) {
+    const std::uint32_t frame_end = static_cast<std::uint32_t>(
+        bytecode_ ? code.words.size() : code.ref_instrs.size());
+    if (frame.pc >= frame_end) {
       // Frame retired.
       if (frame.is_handler) {
         recorder_.on_reti(queue_.now(), frame.line);
         frames_.pop_back();
-        schedule_step(costs_.reti);
+        delay = costs_.reti;
       } else {
         recorder_.on_task_end(frame.run_item_index, queue_.now());
         frames_.pop_back();
-        schedule_step(costs_.task_ret);
+        delay = costs_.task_ret;
       }
-      return;
+      return true;
     }
-    const Instr& instr = code.instrs[frame.pc];
-    recorder_.on_instr(queue_.now(), instr.global_id);
-    StepAction action = instr.fn();
-    // NOTE: instr.fn may post tasks or raise IRQs (via devices) but cannot
-    // mutate the frame stack; `frame` stays valid.
-    switch (action.kind) {
-      case StepAction::Kind::Next:
-        ++frame.pc;
-        break;
-      case StepAction::Kind::Jump:
-        SENT_ASSERT_MSG(action.target < code.instrs.size(),
-                        "jump target out of range in " << code.name);
-        frame.pc = action.target;
-        break;
-      case StepAction::Kind::Return:
-        frame.pc = static_cast<std::uint32_t>(code.instrs.size());
-        break;
-    }
-    schedule_step(instr.cost);
-    return;
+    delay = bytecode_ ? exec_bytecode(frame, code)
+                      : exec_reference(frame, code);
+    return true;
   }
 
   // 3. No frame: start the next task (Rule 3, FIFO).
@@ -175,14 +417,38 @@ void Machine::step() {
     auto [task, code_id] = provider_->pop_task();
     SENT_ASSERT_MSG(program_.code(code_id).is_task,
                     "task queue yielded a non-task code object");
+    SENT_ASSERT_MSG(program_.code(code_id).built_for == mode(),
+                    "task code object was built for a different dispatch "
+                    "mode than this machine");
     std::size_t run_idx = recorder_.on_run_task(queue_.now(), task);
     frames_.push_back(
         Frame{code_id, 0, /*is_handler=*/false, 0, run_idx});
-    schedule_step(costs_.run_task);
-    return;
+    delay = costs_.run_task;
+    return true;
   }
 
   // 4. Nothing to do: sleep. A raise_irq / notify_task_posted wakes us.
+  return false;
+}
+
+void Machine::step() {
+  struct StepGuard {
+    bool& flag;
+    explicit StepGuard(bool& f) : flag(f) { flag = true; }
+    ~StepGuard() { flag = false; }
+  } guard(in_step_);
+
+  // The continuation chain: while the event queue proves no other event
+  // fires at or before this machine's next step, execute it here instead
+  // of round-tripping through the heap. This is the bytecode engine's main
+  // throughput lever (DESIGN.md §12); the reference engine always pays the
+  // original per-step heap traffic.
+  std::uint32_t delay = 0;
+  while (step_once(delay)) {
+    if (bytecode_ && queue_.try_step_inline(queue_.now() + delay)) continue;
+    schedule_step(delay);
+    return;
+  }
 }
 
 }  // namespace sent::mcu

@@ -1,52 +1,99 @@
 #include "mcu/program.hpp"
 
+#include <utility>
+
 #include "util/assert.hpp"
 
 namespace sent::mcu {
 
-CodeId Program::add(CodeObject code) {
-  SENT_REQUIRE_MSG(!by_name_.count(code.name),
-                   "duplicate code object name: " << code.name);
-  SENT_REQUIRE_MSG(!code.instrs.empty(),
-                   "code object " << code.name << " has no instructions");
-  CodeId id = static_cast<CodeId>(codes_.size());
-  for (auto& instr : code.instrs) {
-    SENT_REQUIRE_MSG(instr.fn != nullptr,
-                     "null instruction fn in " << code.name);
-    instr.global_id = static_cast<trace::InstrId>(instr_table_.size());
-    instr_table_.push_back({code.name, instr.name, instr.cost});
+namespace {
+
+/// Branch ops whose label lands at (or past) the end of the code object are
+/// rewritten to their return counterpart at build time, so the dispatch
+/// loop never range-checks a taken branch.
+Op ret_variant(Op op) {
+  switch (op) {
+    case Op::kJump: return Op::kRet;
+    case Op::kBranchIfHost: return Op::kRetIfHost;
+    case Op::kBranchIfFlag: return Op::kRetIfFlag;
+    case Op::kBranchIfU32Eq: return Op::kRetIfU32Eq;
+    case Op::kBranchIfU32Ne: return Op::kRetIfU32Ne;
+    case Op::kBranchIfU32Lt: return Op::kRetIfU32Lt;
+    case Op::kBranchIfU32Ge: return Op::kRetIfU32Ge;
+    case Op::kBranchIfU16Eq: return Op::kRetIfU16Eq;
+    case Op::kBranchIfU16Ne: return Op::kRetIfU16Ne;
+    case Op::kBranchIfU32GeMem: return Op::kRetIfU32GeMem;
+    default: return op;
   }
-  by_name_[code.name] = id;
+}
+
+template <typename Vec, typename T>
+Word pool_add(Vec& vec, T&& value) {
+  vec.push_back(std::forward<T>(value));
+  return static_cast<Word>(vec.size() - 1);
+}
+
+bool cmp_u32(std::uint32_t lhs, Cmp cmp, std::uint32_t rhs) {
+  switch (cmp) {
+    case Cmp::Eq: return lhs == rhs;
+    case Cmp::Ne: return lhs != rhs;
+    case Cmp::Lt: return lhs < rhs;
+    case Cmp::Ge: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---- Program --------------------------------------------------------------
+
+CodeId Program::add(CodeObject code, std::vector<std::string> instr_names) {
+  SENT_REQUIRE_MSG(by_name_.find(std::string_view(code.name)) ==
+                       by_name_.end(),
+                   "duplicate code object name: " << code.name);
+  SENT_REQUIRE_MSG(!code.words.empty(),
+                   "code object " << code.name << " has no instructions");
+  SENT_ASSERT(code.words.size() % kInstrWords == 0);
+  SENT_ASSERT(instr_names.size() == code.instr_count());
+  CodeId id = static_cast<CodeId>(codes_.size());
+  const std::size_t n = code.instr_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto gid = static_cast<trace::InstrId>(instr_table_.size());
+    Word* w = code.words.data() + i * kInstrWords;
+    w[2] = gid;
+    if (!code.ref_instrs.empty()) code.ref_instrs[i].global_id = gid;
+    instr_table_.push_back({code.name, std::move(instr_names[i]), w[1]});
+  }
+  by_name_.emplace(code.name, id);
   codes_.push_back(std::move(code));
   return id;
 }
 
-const CodeObject& Program::code(CodeId id) const {
-  SENT_REQUIRE(id < codes_.size());
-  return codes_[id];
-}
-
-CodeId Program::find(const std::string& name) const {
+CodeId Program::find(std::string_view name) const {
   auto it = by_name_.find(name);
   SENT_REQUIRE_MSG(it != by_name_.end(), "no code object named " << name);
   return it->second;
 }
 
-CodeBuilder::CodeBuilder(std::string name, bool is_task) {
-  code_.name = std::move(name);
-  code_.is_task = is_task;
+// ---- CodeBuilder ----------------------------------------------------------
+
+CodeBuilder::CodeBuilder(std::string name, bool is_task)
+    : name_(std::move(name)), is_task_(is_task) {}
+
+CodeBuilder::Draft& CodeBuilder::push(std::string name, std::uint32_t cost,
+                                      Op op) {
+  Draft d;
+  d.name = std::move(name);
+  d.cost = cost;
+  d.op = op;
+  drafts_.push_back(std::move(d));
+  return drafts_.back();
 }
 
 CodeBuilder& CodeBuilder::instr(std::string name, std::function<void()> fn,
                                 std::uint32_t cost) {
   SENT_REQUIRE(fn != nullptr);
-  code_.instrs.push_back(Instr{
-      std::move(name), cost,
-      [f = std::move(fn)]() {
-        f();
-        return StepAction::next();
-      },
-      0});
+  push(std::move(name), cost, Op::kHostAction).action = std::move(fn);
   return *this;
 }
 
@@ -54,68 +101,452 @@ CodeBuilder& CodeBuilder::branch_if(std::string name,
                                     std::function<bool()> pred,
                                     std::string label, std::uint32_t cost) {
   SENT_REQUIRE(pred != nullptr);
-  pending_.push_back(
-      {code_.instrs.size(), std::move(label), /*conditional=*/true, pred});
-  // Placeholder fn; patched in build() once the label resolves.
-  code_.instrs.push_back(Instr{std::move(name), cost, nullptr, 0});
+  Draft& d = push(std::move(name), cost, Op::kBranchIfHost);
+  d.pred = std::move(pred);
+  d.label = std::move(label);
   return *this;
 }
 
 CodeBuilder& CodeBuilder::jump(std::string name, std::string label,
                                std::uint32_t cost) {
-  pending_.push_back(
-      {code_.instrs.size(), std::move(label), /*conditional=*/false, {}});
-  code_.instrs.push_back(Instr{std::move(name), cost, nullptr, 0});
+  push(std::move(name), cost, Op::kJump).label = std::move(label);
   return *this;
 }
 
 CodeBuilder& CodeBuilder::ret(std::string name, std::uint32_t cost) {
-  code_.instrs.push_back(
-      Instr{std::move(name), cost, [] { return StepAction::ret(); }, 0});
+  push(std::move(name), cost, Op::kRet);
   return *this;
 }
 
 CodeBuilder& CodeBuilder::ret_if(std::string name, std::function<bool()> pred,
                                  std::uint32_t cost) {
   SENT_REQUIRE(pred != nullptr);
-  code_.instrs.push_back(Instr{std::move(name), cost,
-                               [p = std::move(pred)]() {
-                                 return p() ? StepAction::ret()
-                                            : StepAction::next();
-                               },
-                               0});
+  push(std::move(name), cost, Op::kRetIfHost).pred = std::move(pred);
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::call_host(std::string name, InstrFn fn,
+                                    std::uint32_t cost) {
+  SENT_REQUIRE(fn != nullptr);
+  push(std::move(name), cost, Op::kCallHost).host = std::move(fn);
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::set_flag(std::string name, bool& flag, bool value,
+                                   std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kSetFlag);
+  d.flag = &flag;
+  d.imm = value ? 1 : 0;
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::add_u32(std::string name, std::uint32_t& var,
+                                  std::uint32_t delta, std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kAddU32);
+  d.u32 = &var;
+  d.imm = delta;
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::set_u32(std::string name, std::uint32_t& var,
+                                  std::uint32_t value, std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kSetU32);
+  d.u32 = &var;
+  d.imm = value;
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::add_u64(std::string name, std::uint64_t& var,
+                                  std::uint32_t delta, std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kAddU64);
+  d.u64 = &var;
+  d.imm = delta;
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::add_u16(std::string name, std::uint16_t& var,
+                                  std::uint16_t delta, std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kAddU16);
+  d.u16 = &var;
+  d.imm = delta;
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::mov_u16(std::string name, std::uint16_t& dst,
+                                  std::uint16_t& src, std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kMovU16);
+  d.u16 = &dst;
+  d.u16b = &src;
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::clear_lsb_u16(std::string name, std::uint16_t& var,
+                                        std::uint32_t cost) {
+  push(std::move(name), cost, Op::kClearLsbU16).u16 = &var;
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::branch_if_flag(std::string name, bool& flag,
+                                         bool when, std::string label,
+                                         std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kBranchIfFlag);
+  d.flag = &flag;
+  d.imm = when ? 1 : 0;
+  d.label = std::move(label);
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::ret_if_flag(std::string name, bool& flag, bool when,
+                                      std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kRetIfFlag);
+  d.flag = &flag;
+  d.imm = when ? 1 : 0;
+  return *this;
+}
+
+namespace {
+
+Op branch_op_u32(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::Eq: return Op::kBranchIfU32Eq;
+    case Cmp::Ne: return Op::kBranchIfU32Ne;
+    case Cmp::Lt: return Op::kBranchIfU32Lt;
+    case Cmp::Ge: return Op::kBranchIfU32Ge;
+  }
+  return Op::kBranchIfU32Eq;
+}
+
+Op ret_op_u32(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::Eq: return Op::kRetIfU32Eq;
+    case Cmp::Ne: return Op::kRetIfU32Ne;
+    case Cmp::Lt: return Op::kRetIfU32Lt;
+    case Cmp::Ge: return Op::kRetIfU32Ge;
+  }
+  return Op::kRetIfU32Eq;
+}
+
+}  // namespace
+
+CodeBuilder& CodeBuilder::branch_if_u32(std::string name, std::uint32_t& var,
+                                        Cmp cmp, std::uint32_t imm,
+                                        std::string label,
+                                        std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, branch_op_u32(cmp));
+  d.u32 = &var;
+  d.imm = imm;
+  d.label = std::move(label);
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::ret_if_u32(std::string name, std::uint32_t& var,
+                                     Cmp cmp, std::uint32_t imm,
+                                     std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, ret_op_u32(cmp));
+  d.u32 = &var;
+  d.imm = imm;
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::branch_if_u16(std::string name, std::uint16_t& var,
+                                        Cmp cmp, std::uint16_t imm,
+                                        std::string label,
+                                        std::uint32_t cost) {
+  SENT_REQUIRE_MSG(cmp == Cmp::Eq || cmp == Cmp::Ne,
+                   "u16 compares support Eq/Ne only");
+  Draft& d = push(std::move(name), cost,
+                  cmp == Cmp::Eq ? Op::kBranchIfU16Eq : Op::kBranchIfU16Ne);
+  d.u16 = &var;
+  d.imm = imm;
+  d.label = std::move(label);
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::ret_if_u16(std::string name, std::uint16_t& var,
+                                     Cmp cmp, std::uint16_t imm,
+                                     std::uint32_t cost) {
+  SENT_REQUIRE_MSG(cmp == Cmp::Eq || cmp == Cmp::Ne,
+                   "u16 compares support Eq/Ne only");
+  Draft& d = push(std::move(name), cost,
+                  cmp == Cmp::Eq ? Op::kRetIfU16Eq : Op::kRetIfU16Ne);
+  d.u16 = &var;
+  d.imm = imm;
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::branch_if_u32_ge(std::string name,
+                                           std::uint32_t& lhs,
+                                           std::uint32_t& rhs,
+                                           std::string label,
+                                           std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kBranchIfU32GeMem);
+  d.u32 = &lhs;
+  d.u32b = &rhs;
+  d.label = std::move(label);
+  return *this;
+}
+
+CodeBuilder& CodeBuilder::ret_if_u32_ge(std::string name, std::uint32_t& lhs,
+                                        std::uint32_t& rhs,
+                                        std::uint32_t cost) {
+  Draft& d = push(std::move(name), cost, Op::kRetIfU32GeMem);
+  d.u32 = &lhs;
+  d.u32b = &rhs;
   return *this;
 }
 
 CodeBuilder& CodeBuilder::label(std::string label) {
   SENT_REQUIRE_MSG(!labels_.count(label), "duplicate label " << label);
-  labels_[std::move(label)] =
-      static_cast<std::uint32_t>(code_.instrs.size());
+  labels_[std::move(label)] = static_cast<std::uint32_t>(drafts_.size());
   return *this;
+}
+
+std::uint32_t CodeBuilder::resolve_target(const Draft& d) const {
+  auto it = labels_.find(d.label);
+  SENT_REQUIRE_MSG(it != labels_.end(),
+                   "undefined label " << d.label << " in " << name_);
+  return it->second;
+}
+
+void CodeBuilder::emit_bytecode(CodeObject& code) {
+  const bool bytecode = code.built_for == sim::DispatchMode::Bytecode;
+  const std::size_t n = drafts_.size();
+  code.words.reserve(n * kInstrWords);
+  for (Draft& d : drafts_) {
+    Op op = d.op;
+    Word a = 0;
+    Word b = 0;
+    Word t = 0;
+    if (!d.label.empty()) {
+      const std::uint32_t target = resolve_target(d);
+      if (target >= n) {
+        // A label at the very end of the object means "branch to return".
+        op = ret_variant(op);
+      } else {
+        t = target * kInstrWords;
+      }
+    }
+    switch (op) {
+      // The closure pools are only populated on the bytecode path; in
+      // reference mode the same closures move into ref_instrs instead.
+      case Op::kCallHost:
+        if (bytecode) a = pool_add(code.hosts, std::move(d.host));
+        break;
+      case Op::kHostAction:
+        if (bytecode) a = pool_add(code.actions, std::move(d.action));
+        break;
+      case Op::kBranchIfHost:
+      case Op::kRetIfHost:
+        if (bytecode) a = pool_add(code.preds, std::move(d.pred));
+        break;
+      case Op::kJump:
+      case Op::kRet:
+        break;
+      case Op::kSetFlag:
+      case Op::kBranchIfFlag:
+      case Op::kRetIfFlag:
+        a = pool_add(code.flags, d.flag);
+        b = d.imm;
+        break;
+      case Op::kAddU32:
+      case Op::kSetU32:
+      case Op::kBranchIfU32Eq:
+      case Op::kBranchIfU32Ne:
+      case Op::kBranchIfU32Lt:
+      case Op::kBranchIfU32Ge:
+      case Op::kRetIfU32Eq:
+      case Op::kRetIfU32Ne:
+      case Op::kRetIfU32Lt:
+      case Op::kRetIfU32Ge:
+        a = pool_add(code.u32s, d.u32);
+        b = d.imm;
+        break;
+      case Op::kAddU64:
+        a = pool_add(code.u64s, d.u64);
+        b = d.imm;
+        break;
+      case Op::kAddU16:
+      case Op::kClearLsbU16:
+      case Op::kBranchIfU16Eq:
+      case Op::kBranchIfU16Ne:
+      case Op::kRetIfU16Eq:
+      case Op::kRetIfU16Ne:
+        a = pool_add(code.u16s, d.u16);
+        b = d.imm;
+        break;
+      case Op::kMovU16:
+        a = pool_add(code.u16s, d.u16);
+        b = pool_add(code.u16s, d.u16b);
+        break;
+      case Op::kBranchIfU32GeMem:
+      case Op::kRetIfU32GeMem:
+        a = pool_add(code.u32s, d.u32);
+        b = pool_add(code.u32s, d.u32b);
+        break;
+    }
+    code.words.push_back(static_cast<Word>(op));
+    code.words.push_back(d.cost);
+    code.words.push_back(0);  // global_id, patched in Program::add
+    code.words.push_back(a);
+    code.words.push_back(b);
+    code.words.push_back(t);
+  }
+}
+
+void CodeBuilder::emit_reference(CodeObject& code) {
+  // Materialize the pre-bytecode closure-per-instruction form. Typed ops
+  // lower to the same little lambdas applications used to write by hand,
+  // so behaviour (and therefore traces) matches the bytecode path exactly.
+  const std::uint32_t end = static_cast<std::uint32_t>(drafts_.size());
+  code.ref_instrs.reserve(drafts_.size());
+  for (Draft& d : drafts_) {
+    // Straight-line behaviour, if this draft has any.
+    std::function<void()> action;
+    // Predicate for conditional branch / conditional return drafts.
+    std::function<bool()> pred;
+    bool is_branch = false;  // taken pred/jump goes to `target`
+    bool is_ret_if = false;  // taken pred returns
+    std::uint32_t target = 0;
+    if (!d.label.empty()) target = resolve_target(d);
+
+    InstrFn fn;
+    switch (d.op) {
+      case Op::kCallHost:
+        fn = std::move(d.host);
+        break;
+      case Op::kHostAction:
+        action = std::move(d.action);
+        break;
+      case Op::kBranchIfHost:
+        pred = std::move(d.pred);
+        is_branch = true;
+        break;
+      case Op::kRetIfHost:
+        pred = std::move(d.pred);
+        is_ret_if = true;
+        break;
+      case Op::kJump:
+        fn = [target, end] {
+          return target >= end ? StepAction::ret() : StepAction::jump(target);
+        };
+        break;
+      case Op::kRet:
+        fn = [] { return StepAction::ret(); };
+        break;
+      case Op::kSetFlag:
+        action = [p = d.flag, v = d.imm != 0] { *p = v; };
+        break;
+      case Op::kBranchIfFlag:
+        pred = [p = d.flag, v = d.imm != 0] { return *p == v; };
+        is_branch = true;
+        break;
+      case Op::kRetIfFlag:
+        pred = [p = d.flag, v = d.imm != 0] { return *p == v; };
+        is_ret_if = true;
+        break;
+      case Op::kAddU32:
+        action = [p = d.u32, delta = d.imm] { *p += delta; };
+        break;
+      case Op::kSetU32:
+        action = [p = d.u32, v = d.imm] { *p = v; };
+        break;
+      case Op::kAddU64:
+        action = [p = d.u64, delta = d.imm] { *p += delta; };
+        break;
+      case Op::kAddU16:
+        action = [p = d.u16, delta = d.imm] {
+          *p = static_cast<std::uint16_t>(*p + delta);
+        };
+        break;
+      case Op::kMovU16:
+        action = [dst = d.u16, src = d.u16b] { *dst = *src; };
+        break;
+      case Op::kClearLsbU16:
+        action = [p = d.u16] {
+          *p = static_cast<std::uint16_t>(*p & (*p - 1));
+        };
+        break;
+      case Op::kBranchIfU32Eq:
+      case Op::kBranchIfU32Ne:
+      case Op::kBranchIfU32Lt:
+      case Op::kBranchIfU32Ge:
+      case Op::kRetIfU32Eq:
+      case Op::kRetIfU32Ne:
+      case Op::kRetIfU32Lt:
+      case Op::kRetIfU32Ge: {
+        Cmp cmp;
+        switch (d.op) {
+          case Op::kBranchIfU32Eq:
+          case Op::kRetIfU32Eq: cmp = Cmp::Eq; break;
+          case Op::kBranchIfU32Ne:
+          case Op::kRetIfU32Ne: cmp = Cmp::Ne; break;
+          case Op::kBranchIfU32Lt:
+          case Op::kRetIfU32Lt: cmp = Cmp::Lt; break;
+          default: cmp = Cmp::Ge; break;
+        }
+        pred = [p = d.u32, cmp, imm = d.imm] { return cmp_u32(*p, cmp, imm); };
+        is_branch = d.op == Op::kBranchIfU32Eq || d.op == Op::kBranchIfU32Ne ||
+                    d.op == Op::kBranchIfU32Lt || d.op == Op::kBranchIfU32Ge;
+        is_ret_if = !is_branch;
+        break;
+      }
+      case Op::kBranchIfU16Eq:
+      case Op::kRetIfU16Eq:
+        pred = [p = d.u16, imm = d.imm] { return *p == imm; };
+        is_branch = d.op == Op::kBranchIfU16Eq;
+        is_ret_if = !is_branch;
+        break;
+      case Op::kBranchIfU16Ne:
+      case Op::kRetIfU16Ne:
+        pred = [p = d.u16, imm = d.imm] { return *p != imm; };
+        is_branch = d.op == Op::kBranchIfU16Ne;
+        is_ret_if = !is_branch;
+        break;
+      case Op::kBranchIfU32GeMem:
+      case Op::kRetIfU32GeMem:
+        pred = [l = d.u32, r = d.u32b] { return *l >= *r; };
+        is_branch = d.op == Op::kBranchIfU32GeMem;
+        is_ret_if = !is_branch;
+        break;
+    }
+
+    if (action) {
+      fn = [f = std::move(action)] {
+        f();
+        return StepAction::next();
+      };
+    } else if (is_branch) {
+      fn = [p = std::move(pred), target, end] {
+        if (!p()) return StepAction::next();
+        return target >= end ? StepAction::ret() : StepAction::jump(target);
+      };
+    } else if (is_ret_if) {
+      fn = [p = std::move(pred)] {
+        return p() ? StepAction::ret() : StepAction::next();
+      };
+    }
+    SENT_ASSERT(fn != nullptr);
+    code.ref_instrs.push_back(Instr{d.cost, std::move(fn), 0});
+  }
 }
 
 CodeId CodeBuilder::build(Program& program) {
   SENT_REQUIRE_MSG(!built_, "CodeBuilder::build called twice");
   built_ = true;
-  for (const auto& p : pending_) {
-    auto it = labels_.find(p.label);
-    SENT_REQUIRE_MSG(it != labels_.end(),
-                     "undefined label " << p.label << " in " << code_.name);
-    std::uint32_t target = it->second;
-    // A label at the very end of the object means "jump to return".
-    Instr& instr = code_.instrs[p.instr_index];
-    if (p.conditional) {
-      instr.fn = [pred = p.pred, target, end = code_.instrs.size()]() {
-        if (!pred()) return StepAction::next();
-        return target >= end ? StepAction::ret() : StepAction::jump(target);
-      };
-    } else {
-      instr.fn = [target, end = code_.instrs.size()]() {
-        return target >= end ? StepAction::ret() : StepAction::jump(target);
-      };
-    }
+  CodeObject code;
+  code.name = name_;  // keep name_ for resolve_target error messages
+  code.is_task = is_task_;
+  code.built_for = sim::dispatch_mode();
+  if (code.built_for == sim::DispatchMode::Reference) {
+    emit_reference(code);  // consumes the closures
+    emit_bytecode(code);   // metadata words only
+  } else {
+    emit_bytecode(code);
   }
-  return program.add(std::move(code_));
+  std::vector<std::string> names;
+  names.reserve(drafts_.size());
+  for (Draft& d : drafts_) names.push_back(std::move(d.name));
+  return program.add(std::move(code), std::move(names));
 }
 
 }  // namespace sent::mcu

@@ -101,7 +101,9 @@ void Channel::transmit(NodeId sender, const Packet& packet,
 
   std::uint64_t id = tx.id;
   active_.push_back(std::move(tx));
-  queue_.schedule_at(active_.back().end, [this, id] { finish(id); });
+  // End-of-airtime is never cancelled (even corrupted frames occupy the
+  // medium to the end), so it can ride the deferred-inline path.
+  queue_.schedule_or_inline(active_.back().end, [this, id] { finish(id); });
 }
 
 void Channel::finish(std::uint64_t tx_id) {

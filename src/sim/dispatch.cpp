@@ -1,0 +1,46 @@
+#include "sim/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace sent::sim {
+
+namespace {
+
+DispatchMode build_default() {
+#ifdef SENT_REFERENCE_DISPATCH_DEFAULT
+  return DispatchMode::Reference;
+#else
+  return DispatchMode::Bytecode;
+#endif
+}
+
+DispatchMode initial_mode() {
+  if (const char* env = std::getenv("SENT_DISPATCH")) {
+    if (std::strcmp(env, "reference") == 0) return DispatchMode::Reference;
+    if (std::strcmp(env, "bytecode") == 0) return DispatchMode::Bytecode;
+  }
+  return build_default();
+}
+
+std::atomic<DispatchMode>& mode_cell() {
+  static std::atomic<DispatchMode> mode{initial_mode()};
+  return mode;
+}
+
+}  // namespace
+
+DispatchMode dispatch_mode() {
+  return mode_cell().load(std::memory_order_relaxed);
+}
+
+void set_dispatch_mode(DispatchMode mode) {
+  mode_cell().store(mode, std::memory_order_relaxed);
+}
+
+const char* to_string(DispatchMode mode) {
+  return mode == DispatchMode::Bytecode ? "bytecode" : "reference";
+}
+
+}  // namespace sent::sim

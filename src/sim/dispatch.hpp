@@ -1,0 +1,40 @@
+// Process-wide dispatch-mode selector (DESIGN.md §12).
+//
+// The virtual MCU and the event queue each have two execution substrates:
+//
+//   Bytecode  — the production path: compact bytecode interpreter in
+//               mcu::Machine plus the pooled, allocation-free event engine
+//               in sim::EventQueue.
+//   Reference — the pre-bytecode closure path, kept alive for parity
+//               testing: std::function instruction dispatch plus the boxed
+//               std::function event heap with linear-scan cancellation.
+//
+// Both substrates produce bit-identical traces; the parity suite
+// (tests/dispatch_parity_test.cpp) and bench/ext_sim enforce that. The mode
+// is sampled at world-construction time (EventQueue / Machine constructors,
+// CodeBuilder::build), so switch it only between runs, never mid-run.
+//
+// Default resolution order:
+//   1. set_dispatch_mode() (tests / benches),
+//   2. the SENT_DISPATCH environment variable ("bytecode" / "reference"),
+//   3. the build default (Bytecode, or Reference when the tree is
+//      configured with -DSENT_REFERENCE_DISPATCH=ON).
+#pragma once
+
+namespace sent::sim {
+
+enum class DispatchMode {
+  Bytecode,   ///< bytecode interpreter + pooled event engine
+  Reference,  ///< retained closure interpreter + boxed event heap
+};
+
+/// Current process-wide mode (atomic; safe to read from campaign workers).
+DispatchMode dispatch_mode();
+
+/// Override the mode. Call between runs only: worlds sample the mode when
+/// they are constructed.
+void set_dispatch_mode(DispatchMode mode);
+
+const char* to_string(DispatchMode mode);
+
+}  // namespace sent::sim

@@ -31,107 +31,340 @@ struct Metrics {
   }
 };
 
+constexpr std::uint32_t slot_of(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+constexpr std::uint32_t gen_of(EventId id) {
+  return static_cast<std::uint32_t>(id);
+}
+
 }  // namespace
 
-EventId EventQueue::schedule_at(Cycle at, std::function<void()> fn) {
+EventQueue::EventQueue(DispatchMode mode)
+    : boxed_(mode == DispatchMode::Reference) {}
+
+EventQueue::~EventQueue() { flush_metrics(); }
+
+void EventQueue::flush_metrics() {
+  if (pending_scheduled_ == 0 && pending_executed_ == 0 &&
+      pending_cancelled_ == 0 && queue_hwm_ == 0) {
+    return;
+  }
+  const Metrics& m = Metrics::get();
+  if (pending_scheduled_ != 0) m.scheduled.inc(pending_scheduled_);
+  if (pending_executed_ != 0) m.executed.inc(pending_executed_);
+  if (pending_cancelled_ != 0) m.cancelled.inc(pending_cancelled_);
+  if (queue_hwm_ != 0) m.queue_hwm.record(queue_hwm_);
+  pending_scheduled_ = pending_executed_ = pending_cancelled_ = 0;
+  queue_hwm_ = 0;
+}
+
+void EventQueue::on_scheduled() {
+  ++live_;
+  ++pending_scheduled_;
+  if (live_ > queue_hwm_) queue_hwm_ = live_;
+}
+
+// ---- scheduling -----------------------------------------------------------
+
+std::uint32_t EventQueue::alloc_slot(EventFn fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  // Advance the generation on (re)use; skip 0 so no EventId is ever 0.
+  ++s.gen;
+  if (s.gen == 0) s.gen = 1;
+  s.live = true;
+  s.cancelled = false;
+  s.fn = std::move(fn);
+  return slot;
+}
+
+EventId EventQueue::schedule_pooled(Cycle at, EventFn fn) {
+  SENT_REQUIRE_MSG(at >= now_, "cannot schedule in the past: at=" << at
+                                                                  << " now=" << now_);
+  SENT_REQUIRE(static_cast<bool>(fn));
+  const std::uint32_t slot = alloc_slot(std::move(fn));
+  pool_heap_.push(PoolEntry{at, next_seq_++, slot});
+  on_scheduled();
+  return (static_cast<EventId>(slot) << 32) | slots_[slot].gen;
+}
+
+EventId EventQueue::schedule_boxed(Cycle at, std::function<void()> fn) {
   SENT_REQUIRE_MSG(at >= now_, "cannot schedule in the past: at=" << at
                                                                   << " now=" << now_);
   SENT_REQUIRE(fn != nullptr);
-  EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(fn)});
-  ++live_;
-  Metrics::get().scheduled.inc();
-  Metrics::get().queue_hwm.record(live_);
+  EventId id = next_boxed_id_++;
+  boxed_heap_.push(BoxedEntry{at, id, std::move(fn)});
+  on_scheduled();
   return id;
 }
 
-EventId EventQueue::schedule_after(Cycle delay, std::function<void()> fn) {
-  return schedule_at(now_ + delay, std::move(fn));
-}
+// ---- cancellation ---------------------------------------------------------
 
 bool EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  if (is_cancelled(id)) return false;
+  if (!boxed_) {
+    const std::uint32_t slot = slot_of(id);
+    const std::uint32_t gen = gen_of(id);
+    if (gen == 0 || slot >= slots_.size()) return false;
+    Slot& s = slots_[slot];
+    if (!s.live || s.gen != gen || s.cancelled) return false;
+    s.cancelled = true;
+    s.fn.reset();  // release the capture now; the heap entry is skipped later
+    --live_;
+    ++pending_cancelled_;
+    return true;
+  }
+  if (id == 0 || id >= next_boxed_id_) return false;
+  if (is_cancelled_boxed(id)) return false;
   // We cannot remove from the heap; mark and skip at pop time. We cannot
   // tell fired from unknown ids cheaply, so conservatively record the mark;
   // it is purged when (or if) the entry surfaces.
   cancelled_.push_back(id);
   if (live_ > 0) --live_;
-  Metrics::get().cancelled.inc();
+  ++pending_cancelled_;
   return true;
 }
 
-bool EventQueue::is_cancelled(EventId id) const {
+bool EventQueue::is_cancelled_boxed(EventId id) const {
   return std::find(cancelled_.begin(), cancelled_.end(), id) !=
          cancelled_.end();
 }
 
-void EventQueue::forget_cancelled(EventId id) {
+void EventQueue::forget_cancelled_boxed(EventId id) {
   auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
   if (it != cancelled_.end()) cancelled_.erase(it);
 }
 
-void EventQueue::set_watchdog_budget(std::uint64_t budget) {
-  watchdog_budget_ = budget;
-  watchdog_armed_at_ = executed_;
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  s.cancelled = false;
+  s.fn.reset();
+  free_slots_.push_back(slot);
 }
 
-bool EventQueue::step() {
-  while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    if (is_cancelled(e.id)) {
-      forget_cancelled(e.id);
+// ---- execution ------------------------------------------------------------
+
+void EventQueue::check_watchdog() {
+  if (watchdog_budget_ != 0 &&
+      executed_ - watchdog_armed_at_ >= watchdog_budget_) {
+    Metrics::get().watchdog_trips.inc();
+    throw WatchdogTimeout(
+        "simulation watchdog: event budget of " +
+        std::to_string(watchdog_budget_) + " exhausted at cycle " +
+        std::to_string(now_) + " (livelocked run?)");
+  }
+}
+
+bool EventQueue::step_pooled() {
+  // Drop cancelled entries before anything else so they neither advance
+  // time nor count against the watchdog budget.
+  while (!pool_heap_.empty() && slots_[pool_heap_.top().slot].cancelled) {
+    release_slot(pool_heap_.top().slot);
+    pool_heap_.pop();
+  }
+  if (pool_heap_.empty()) return false;
+  // Checked before the pop: on timeout the event stays queued, so the
+  // queue is consistent if the caller catches and carries on.
+  check_watchdog();
+  const PoolEntry e = pool_heap_.top();
+  pool_heap_.pop();
+  SENT_ASSERT(e.at >= now_);
+  now_ = e.at;
+  --live_;
+  ++executed_;
+  ++pending_executed_;
+  // Move the closure out and release the slot *before* invoking: the event
+  // may schedule (reallocating slots_) or recursively step the queue.
+  EventFn fn = std::move(slots_[e.slot].fn);
+  release_slot(e.slot);
+  ++event_depth_;
+  try {
+    fn();
+    flush_deferred();  // run/enqueue wake-ups the closure parked
+  } catch (...) {
+    spill_deferred();
+    --event_depth_;
+    throw;
+  }
+  --event_depth_;
+  return true;
+}
+
+bool EventQueue::admit_inline(Cycle at, std::uint64_t seq) {
+  if (drain_depth_ == 0 || at > horizon_) return false;
+  if (watchdog_budget_ != 0 &&
+      executed_ - watchdog_armed_at_ >= watchdog_budget_) {
+    return false;
+  }
+  Cycle next = 0;
+  if (peek_next(next)) {  // prunes cancelled heads; top is live after
+    const PoolEntry& top = pool_heap_.top();
+    if (top.at < at || (top.at == at && top.seq < seq)) return false;
+  }
+  SENT_ASSERT(at >= now_);
+  now_ = at;
+  --live_;  // counted live since the defer, exactly like a heap entry
+  ++executed_;
+  ++pending_executed_;  // scheduled was counted when the entry was deferred
+  return true;
+}
+
+void EventQueue::enqueue_reserved(Deferred d) {
+  const std::uint32_t slot = alloc_slot(std::move(d.fn));
+  pool_heap_.push(PoolEntry{d.at, d.seq, slot});
+}
+
+void EventQueue::flush_deferred() {
+  while (!deferred_.empty()) {
+    Deferred d = std::move(deferred_.front());
+    deferred_.erase(deferred_.begin());
+    // A sibling deferred entry that fires strictly earlier must win; at
+    // equal cycles this entry's seq is smaller (it was deferred first), so
+    // only `<` matters. The list is almost always a single entry.
+    bool earliest = true;
+    for (const Deferred& o : deferred_) {
+      if (o.at < d.at) {
+        earliest = false;
+        break;
+      }
+    }
+    if (earliest && admit_inline(d.at, d.seq)) {
+      ++deferred_inlined_;
+      d.fn();  // may defer further wake-ups; the loop picks them up
+    } else {
+      ++deferred_spilled_;
+      enqueue_reserved(std::move(d));
+    }
+  }
+}
+
+void EventQueue::spill_deferred() {
+  for (Deferred& d : deferred_) enqueue_reserved(std::move(d));
+  deferred_.clear();
+}
+
+bool EventQueue::step_boxed() {
+  while (!boxed_heap_.empty()) {
+    if (is_cancelled_boxed(boxed_heap_.top().id)) {
+      forget_cancelled_boxed(boxed_heap_.top().id);
+      boxed_heap_.pop();
       continue;
     }
+    check_watchdog();
+    BoxedEntry e = boxed_heap_.top();
+    boxed_heap_.pop();
     SENT_ASSERT(e.at >= now_);
-    if (watchdog_budget_ != 0 &&
-        executed_ - watchdog_armed_at_ >= watchdog_budget_) {
-      // Put the event back so the queue stays consistent if the caller
-      // catches the timeout and carries on.
-      heap_.push(std::move(e));
-      Metrics::get().watchdog_trips.inc();
-      throw WatchdogTimeout(
-          "simulation watchdog: event budget of " +
-          std::to_string(watchdog_budget_) + " exhausted at cycle " +
-          std::to_string(now_) + " (livelocked run?)");
-    }
     now_ = e.at;
     --live_;
     ++executed_;
-    Metrics::get().executed.inc();
+    ++pending_executed_;
     e.fn();
     return true;
   }
   return false;
 }
 
-void EventQueue::run_until(Cycle until) {
-  for (;;) {
-    // Peek for the next live entry.
-    while (!heap_.empty() && is_cancelled(heap_.top().id)) {
-      forget_cancelled(heap_.top().id);
-      heap_.pop();
+bool EventQueue::step() { return boxed_ ? step_boxed() : step_pooled(); }
+
+bool EventQueue::peek_next(Cycle& at) {
+  if (boxed_) {
+    while (!boxed_heap_.empty() && is_cancelled_boxed(boxed_heap_.top().id)) {
+      forget_cancelled_boxed(boxed_heap_.top().id);
+      boxed_heap_.pop();
     }
-    if (heap_.empty() || heap_.top().at > until) return;
-    step();
+    if (boxed_heap_.empty()) return false;
+    at = boxed_heap_.top().at;
+    return true;
   }
+  while (!pool_heap_.empty() && slots_[pool_heap_.top().slot].cancelled) {
+    release_slot(pool_heap_.top().slot);
+    pool_heap_.pop();
+  }
+  if (pool_heap_.empty()) return false;
+  at = pool_heap_.top().at;
+  return true;
+}
+
+bool EventQueue::inline_allowance(InlineAllowance& a) {
+  if (drain_depth_ == 0 || boxed_ || !deferred_.empty()) return false;
+  a.horizon = horizon_;
+  a.next_event = kMaxCycle;
+  peek_next(a.next_event);
+  if (watchdog_budget_ == 0) {
+    a.steps = ~std::uint64_t{0};
+  } else {
+    const std::uint64_t used = executed_ - watchdog_armed_at_;
+    a.steps = used >= watchdog_budget_ ? 0 : watchdog_budget_ - used;
+  }
+  return true;
+}
+
+bool EventQueue::try_step_inline_slow(Cycle at) {
+  // A budget-exhausted machine must put its continuation back on the heap
+  // so the next drain iteration trips check_watchdog with the event still
+  // queued — the same observable state the heap path leaves behind.
+  if (watchdog_budget_ != 0 &&
+      executed_ - watchdog_armed_at_ >= watchdog_budget_) {
+    return false;
+  }
+  Cycle next = 0;
+  if (peek_next(next) && next <= at) return false;
+  SENT_ASSERT(at >= now_);
+  now_ = at;
+  ++executed_;
+  ++pending_scheduled_;
+  ++pending_executed_;
+  return true;
+}
+
+/// Marks a drain (run_until/run_all) in progress so try_step_inline knows
+/// the horizon events may run up to. Saves/restores on nesting and unwinds
+/// correctly when a watchdog timeout propagates out of the drain.
+struct DrainScope {
+  EventQueue& queue;
+  Cycle previous;
+  DrainScope(EventQueue& q, Cycle horizon) : queue(q), previous(q.horizon_) {
+    ++queue.drain_depth_;
+    queue.horizon_ = horizon;
+  }
+  ~DrainScope() {
+    queue.horizon_ = previous;
+    --queue.drain_depth_;
+  }
+};
+
+void EventQueue::run_until(Cycle until) {
+  DrainScope scope(*this, until);
+  Cycle at = 0;
+  while (peek_next(at) && at <= until) step();
 }
 
 void EventQueue::run_all() {
+  DrainScope scope(*this, kMaxCycle);
   while (step()) {
   }
 }
 
 void EventQueue::advance_to(Cycle to) {
   SENT_REQUIRE(to >= now_);
-  while (!heap_.empty() && is_cancelled(heap_.top().id)) {
-    forget_cancelled(heap_.top().id);
-    heap_.pop();
-  }
-  SENT_REQUIRE_MSG(heap_.empty() || heap_.top().at >= to,
-                   "advance_to would skip a pending event");
+  Cycle at = 0;
+  const bool pending = peek_next(at);
+  SENT_REQUIRE_MSG(!pending || at >= to, "advance_to would skip a pending event");
   now_ = to;
+}
+
+void EventQueue::set_watchdog_budget(std::uint64_t budget) {
+  watchdog_budget_ = budget;
+  watchdog_armed_at_ = executed_;
 }
 
 }  // namespace sent::sim

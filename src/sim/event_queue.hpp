@@ -3,6 +3,20 @@
 // A single EventQueue drives every node, device, and channel in a
 // simulation. Events at equal timestamps fire in scheduling (FIFO) order,
 // which keeps multi-node runs fully deterministic.
+//
+// Two engines implement the same contract (DESIGN.md §12):
+//
+//   Pooled — the production engine: closures live in a slab of reusable
+//     slots (EventFn, inline storage: no allocation per event), the heap
+//     orders 24-byte POD entries, and cancellation flips a flag on the
+//     generation-tagged slot in O(1).
+//   Boxed  — the pre-bytecode reference engine, kept for parity testing:
+//     a binary heap of std::function entries with a linear-scan cancelled
+//     list, reproducing the original cost profile exactly.
+//
+// The engine is chosen at construction from sim::dispatch_mode(); both fire
+// events in exactly the same order, so traces are bit-identical across
+// engines.
 #pragma once
 
 #include <cstdint>
@@ -11,11 +25,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "sim/dispatch.hpp"
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace sent::sim {
 
-/// Handle identifying a scheduled event, usable for cancellation.
+/// Handle identifying a scheduled event, usable for cancellation. Never 0,
+/// so 0 works as a "nothing pending" sentinel. Pooled ids encode
+/// (slot, generation); boxed ids are the original monotonic sequence.
 using EventId = std::uint64_t;
 
 /// Thrown by step()/run_until() when the watchdog budget is exhausted: a
@@ -28,20 +46,48 @@ class WatchdogTimeout : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Permission for a machine to execute a run of queue-silent steps inline
+/// (DESIGN.md §12). Valid as long as the holder performs no queue operation:
+/// each fused step at time `at` requires at <= horizon, at < next_event and
+/// steps > 0 (decremented per step), then commit_inline settles the clock
+/// and the executed count in one batch.
+struct InlineAllowance {
+  Cycle horizon = 0;
+  Cycle next_event = kMaxCycle;  ///< earliest live pending event
+  std::uint64_t steps = 0;       ///< watchdog budget remaining
+};
+
 class EventQueue {
  public:
+  /// Engine follows the process-wide dispatch mode.
+  EventQueue() : EventQueue(dispatch_mode()) {}
+  /// Pin the engine explicitly (engine-equivalence tests).
+  explicit EventQueue(DispatchMode mode);
+  ~EventQueue();
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Current virtual time. Starts at 0; advances as events run.
   Cycle now() const { return now_; }
 
   /// Schedule `fn` at absolute time `at` (>= now). Returns a handle that
   /// can be passed to cancel().
-  EventId schedule_at(Cycle at, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_at(Cycle at, F&& fn) {
+    if (boxed_)
+      return schedule_boxed(at, std::function<void()>(std::forward<F>(fn)));
+    return schedule_pooled(at, EventFn(std::forward<F>(fn)));
+  }
 
   /// Schedule `fn` after `delay` cycles from now.
-  EventId schedule_after(Cycle delay, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_after(Cycle delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
-  /// Cancel a scheduled event. Cancelling an already-fired or unknown id is
-  /// a no-op (returns false).
+  /// Cancel a scheduled event in O(1). Cancelling an already-fired,
+  /// already-cancelled, or unknown id is a no-op (returns false).
   bool cancel(EventId id);
 
   /// True if no live (non-cancelled) events remain.
@@ -52,6 +98,79 @@ class EventQueue {
 
   /// Run a single event. Returns false if the queue is empty.
   bool step();
+
+  /// Machine fast path (DESIGN.md §12): the caller has just finished an
+  /// event and wants to run its continuation at `at` without a heap
+  /// round-trip. Succeeds only when that is observationally identical to
+  /// scheduling the continuation and draining normally: the queue is
+  /// inside run_until/run_all, `at` is within the drain horizon, every
+  /// pending event fires strictly after `at` (earlier events must run
+  /// first, and FIFO order among equal timestamps must be preserved), and
+  /// the watchdog budget has room. On success the clock advances to `at`
+  /// and the step counts as one scheduled + executed event, exactly as
+  /// the enqueued continuation would have. Defined inline: this runs once
+  /// per virtual instruction and is the dispatch loop's hottest guard.
+  bool try_step_inline(Cycle at) {
+    if (drain_depth_ == 0 || at > horizon_) return false;
+    // A parked wake-up (schedule_or_inline) may precede this continuation
+    // in FIFO order but is not in the heap yet; refuse until it flushes.
+    if (!deferred_.empty()) return false;
+    if (boxed_) return try_step_inline_slow(at);
+    if (watchdog_budget_ != 0 &&
+        executed_ - watchdog_armed_at_ >= watchdog_budget_) {
+      return false;
+    }
+    if (!pool_heap_.empty()) {
+      const PoolEntry& top = pool_heap_.top();
+      if (top.at <= at) {
+        // A live earlier event blocks inlining; a cancelled head needs the
+        // pruning loop before the answer is known.
+        if (!slots_[top.slot].cancelled) return false;
+        return try_step_inline_slow(at);
+      }
+    }
+    now_ = at;
+    ++executed_;
+    ++pending_scheduled_;
+    ++pending_executed_;
+    return true;
+  }
+
+  /// Machine wake-up path (DESIGN.md §12): schedule `fn` at `at`, but when
+  /// called from inside a pooled event's closure, park it in a deferred
+  /// list instead of the heap. After the closure finishes, the entry runs
+  /// inline if that is observationally identical to draining it from the
+  /// heap, and is enqueued otherwise. The entry reserves its FIFO sequence
+  /// number HERE — at the moment the heap path would have — so events the
+  /// closure schedules afterwards order identically either way. Deferred
+  /// entries are not cancellable (no EventId is returned); use
+  /// schedule_at/schedule_after for anything that may be cancelled.
+  template <typename F>
+  void schedule_or_inline(Cycle at, F&& fn) {
+    if (boxed_ || event_depth_ == 0) {
+      schedule_at(at, std::forward<F>(fn));
+      return;
+    }
+    on_scheduled();  // the heap path counts the event live at raise time
+    deferred_.push_back({at, next_seq_++, EventFn(std::forward<F>(fn))});
+  }
+
+  /// Batch variant of try_step_inline for the bytecode machine's fused
+  /// typed-op loop: fills `a` with the window in which steps may run
+  /// inline without consulting the queue again. False when inlining is
+  /// impossible (not draining, or the boxed engine). The allowance is
+  /// invalidated by ANY queue operation — the caller must hold it only
+  /// across steps that touch no queue state.
+  bool inline_allowance(InlineAllowance& a);
+
+  /// Settle a fused run: clock at `now`, `steps` events executed. Each
+  /// step must have satisfied the allowance it was granted under.
+  void commit_inline(Cycle now, std::uint64_t steps) {
+    now_ = now;
+    executed_ += steps;
+    pending_scheduled_ += steps;
+    pending_executed_ += steps;
+  }
 
   /// Run events until the queue is empty or virtual time would exceed
   /// `until`. Events scheduled exactly at `until` do run. Time is left at
@@ -69,6 +188,13 @@ class EventQueue {
   /// Total events executed (for perf benches).
   std::uint64_t executed() const { return executed_; }
 
+  /// How many deferred wake-ups ran in place vs. spilled to the heap
+  /// (bytecode engine only; both stay 0 on the reference engine). The sum
+  /// is the number of schedule_or_inline calls made from inside pooled
+  /// closures.
+  std::uint64_t deferred_inlined() const { return deferred_inlined_; }
+  std::uint64_t deferred_spilled() const { return deferred_spilled_; }
+
   /// Arm the watchdog: after `budget` further events, step() throws
   /// WatchdogTimeout. 0 disarms. Virtual time is already bounded by
   /// run_until; the event budget is what catches livelocked runs that
@@ -76,28 +202,118 @@ class EventQueue {
   void set_watchdog_budget(std::uint64_t budget);
   std::uint64_t watchdog_budget() const { return watchdog_budget_; }
 
+  /// Engine this queue was constructed with.
+  DispatchMode engine() const {
+    return boxed_ ? DispatchMode::Reference : DispatchMode::Bytecode;
+  }
+
+  /// Push the batched obs counters into the global registry. Called from
+  /// the destructor; the dispatch loop itself only bumps plain integers
+  /// (keeping the hot path branch-free, DESIGN.md §12).
+  void flush_metrics();
+
  private:
-  struct Entry {
+  // ---- pooled engine -----------------------------------------------------
+
+  /// Heap entry: plain data, ordered by (at, seq). seq is a monotonic
+  /// scheduling sequence, giving FIFO among equal timestamps.
+  struct PoolEntry {
+    Cycle at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    bool operator>(const PoolEntry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  /// One reusable event slot. The generation tag makes stale cancels
+  /// O(1)-detectable: an EventId is (slot << 32) | gen, and a cancel only
+  /// lands if the slot is live under that same generation.
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool live = false;
+    bool cancelled = false;
+    EventFn fn;
+  };
+
+  // ---- boxed (reference) engine -----------------------------------------
+
+  struct BoxedEntry {
     Cycle at;
     EventId id;
     std::function<void()> fn;
-    bool operator>(const Entry& o) const {
+    bool operator>(const BoxedEntry& o) const {
       if (at != o.at) return at > o.at;
       return id > o.id;  // FIFO among equal timestamps
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::vector<EventId> cancelled_;  // sorted-insert not needed; small
-  Cycle now_ = 0;
-  EventId next_id_ = 1;
-  std::size_t live_ = 0;
-  std::uint64_t executed_ = 0;
-  std::uint64_t watchdog_budget_ = 0;   // 0 = disarmed
-  std::uint64_t watchdog_armed_at_ = 0; // executed_ when armed
+  /// A wake-up parked by schedule_or_inline until the current event's
+  /// closure returns. `seq` was reserved at defer time.
+  struct Deferred {
+    Cycle at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
 
-  bool is_cancelled(EventId id) const;
-  void forget_cancelled(EventId id);
+  EventId schedule_pooled(Cycle at, EventFn fn);
+  EventId schedule_boxed(Cycle at, std::function<void()> fn);
+  std::uint32_t alloc_slot(EventFn fn);
+  bool try_step_inline_slow(Cycle at);
+  /// Inline admission for a deferred entry with a reserved seq: pending
+  /// events that fire earlier — or at the same cycle with an earlier seq —
+  /// must win; otherwise advance the clock and count the execution.
+  bool admit_inline(Cycle at, std::uint64_t seq);
+  /// Move a deferred entry into the heap under its reserved seq.
+  void enqueue_reserved(Deferred d);
+  /// Run or enqueue everything deferred by the closure that just returned.
+  void flush_deferred();
+  /// Exception path: spill all deferred entries to the heap.
+  void spill_deferred();
+  bool step_pooled();
+  bool step_boxed();
+  /// Drop cancelled entries at the head; report the next live fire time.
+  bool peek_next(Cycle& at);
+  void release_slot(std::uint32_t slot);
+  void check_watchdog();
+  void on_scheduled();
+
+  bool is_cancelled_boxed(EventId id) const;
+  void forget_cancelled_boxed(EventId id);
+
+  const bool boxed_;
+
+  std::priority_queue<PoolEntry, std::vector<PoolEntry>, std::greater<>>
+      pool_heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 1;
+
+  std::priority_queue<BoxedEntry, std::vector<BoxedEntry>, std::greater<>>
+      boxed_heap_;
+  std::vector<EventId> cancelled_;  // boxed engine: linear scan (retained)
+  EventId next_boxed_id_ = 1;
+
+  friend struct DrainScope;
+
+  std::vector<Deferred> deferred_;  // non-empty only inside a pooled fn()
+  std::uint32_t event_depth_ = 0;   // pooled closures currently on the stack
+  std::uint64_t deferred_inlined_ = 0, deferred_spilled_ = 0;
+
+  Cycle now_ = 0;
+  std::size_t live_ = 0;
+  std::uint32_t drain_depth_ = 0;  // >0 while inside run_until/run_all
+  Cycle horizon_ = 0;              // inline steps may not pass this
+  std::uint64_t executed_ = 0;
+  std::uint64_t watchdog_budget_ = 0;    // 0 = disarmed
+  std::uint64_t watchdog_armed_at_ = 0;  // executed_ when armed
+
+  // Batched obs metrics (flushed by flush_metrics / the destructor).
+  std::uint64_t pending_scheduled_ = 0;
+  std::uint64_t pending_executed_ = 0;
+  std::uint64_t pending_cancelled_ = 0;
+  std::uint64_t queue_hwm_ = 0;
 };
 
 }  // namespace sent::sim

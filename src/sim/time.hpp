@@ -11,6 +11,9 @@ namespace sent::sim {
 /// A point in virtual time, in MCU cycles since simulation start.
 using Cycle = std::uint64_t;
 
+/// "End of time": an unreachable horizon for unbounded drains.
+inline constexpr Cycle kMaxCycle = ~Cycle{0};
+
 /// Mica2 / ATmega128L clock frequency.
 inline constexpr Cycle kCyclesPerSecond = 7'372'800;
 

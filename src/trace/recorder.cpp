@@ -31,10 +31,6 @@ void Recorder::on_reti(sim::Cycle cycle, IrqLine line) {
   trace_.lifecycle.push_back({LifecycleKind::Reti, cycle, line, 0});
 }
 
-void Recorder::on_instr(sim::Cycle cycle, InstrId instr) {
-  trace_.instrs.push_back({cycle, instr});
-}
-
 void Recorder::on_bug(sim::Cycle cycle, const std::string& kind) {
   trace_.bugs.push_back({cycle, kind});
 }

@@ -70,7 +70,16 @@ class Recorder {
   void on_int(sim::Cycle cycle, IrqLine line);
   void on_reti(sim::Cycle cycle, IrqLine line);
 
-  void on_instr(sim::Cycle cycle, InstrId instr);
+  /// Inline: one call per executed virtual instruction (the hot path).
+  void on_instr(sim::Cycle cycle, InstrId instr) {
+    trace_.instrs.push_back({cycle, instr});
+  }
+
+  /// Direct access to the instruction stream for the bytecode machine's
+  /// fused dispatch loop, which batches appends through a stack buffer.
+  /// Appending {cycle, instr} records here is equivalent to on_instr calls
+  /// in the same order.
+  std::vector<InstrExec>& instr_sink() { return trace_.instrs; }
   void on_bug(sim::Cycle cycle, const std::string& kind);
 
   void set_instr_table(std::vector<InstrMeta> table);

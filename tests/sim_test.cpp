@@ -225,5 +225,221 @@ TEST(Watchdog, QueueUsableAfterTimeout) {
   EXPECT_EQ(fired, 2);
 }
 
+
+// ------------------------------------------------- engine equivalence
+
+// Both engines must fire the same script in the same order — the whole
+// parity story rests on this (DESIGN.md §12).
+TEST(EngineParity, PooledAndBoxedFireInSameOrder) {
+  auto script = [](EventQueue& q, std::vector<int>& order) {
+    for (int i = 0; i < 4; ++i)
+      q.schedule_at(100, [&order, i] { order.push_back(i); });
+    q.schedule_at(50, [&] {
+      order.push_back(50);
+      q.schedule_after(50, [&] { order.push_back(-100); });  // ties at 100
+    });
+    EventId dead = q.schedule_at(75, [&] { order.push_back(75); });
+    q.cancel(dead);
+    q.run_all();
+  };
+  EventQueue pooled(DispatchMode::Bytecode);
+  EventQueue boxed(DispatchMode::Reference);
+  std::vector<int> a, b;
+  script(pooled, a);
+  script(boxed, b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, (std::vector<int>{50, 0, 1, 2, 3, -100}));
+}
+
+// Cancel-heavy churn: the pooled engine recycles slots and drops cancelled
+// entries lazily at the heap head; a long alternating schedule/cancel
+// workload must execute exactly the survivors, in order, on both engines.
+// (Regression for the O(1) generation-tagged cancel path.)
+TEST(EngineParity, CancelHeavyChurn) {
+  for (DispatchMode mode : {DispatchMode::Bytecode, DispatchMode::Reference}) {
+    EventQueue q(mode);
+    std::vector<int> fired;
+    std::vector<EventId> ids;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i)
+      ids.push_back(q.schedule_at(10 + static_cast<Cycle>(i % 997), [&, i] {
+        fired.push_back(i);
+      }));
+    // Cancel every odd event, plus re-cancel some (stale ids must no-op).
+    for (int i = 1; i < kN; i += 2) EXPECT_TRUE(q.cancel(ids[i]));
+    for (int i = 1; i < kN; i += 4) EXPECT_FALSE(q.cancel(ids[i]));
+    EXPECT_EQ(q.size(), static_cast<std::size_t>(kN / 2));
+    q.run_all();
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(kN / 2));
+    // Survivors fire ordered by (at, scheduling order).
+    for (std::size_t k = 1; k < fired.size(); ++k) {
+      Cycle ta = 10 + static_cast<Cycle>(fired[k - 1] % 997);
+      Cycle tb = 10 + static_cast<Cycle>(fired[k] % 997);
+      ASSERT_LE(ta, tb);
+      if (ta == tb) {
+        ASSERT_LT(fired[k - 1], fired[k]);
+      }
+    }
+  }
+}
+
+// Slot reuse must invalidate old ids: after an event fires, its id refers
+// to nothing even if the slot is reused by a later event.
+TEST(EngineParity, CancelAfterFireIsStaleEvenWithSlotReuse) {
+  EventQueue q(DispatchMode::Bytecode);
+  EventId first = q.schedule_at(10, [] {});
+  q.run_all();
+  bool ran = false;
+  EventId second = q.schedule_at(20, [&] { ran = true; });  // reuses slot
+  EXPECT_FALSE(q.cancel(first));  // stale generation: no-op
+  q.run_all();
+  EXPECT_TRUE(ran);
+  (void)second;
+}
+
+// -------------------------------------------- deferred-inline wake-ups
+
+// A wake-up raised from inside a pooled closure for a time before any
+// pending event runs in place (no heap round-trip) and in order.
+TEST(DeferredInline, RunsInPlaceWhenNextInLine) {
+  EventQueue q(DispatchMode::Bytecode);
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    order.push_back(1);
+    q.schedule_or_inline(15, [&] { order.push_back(2); });
+  });
+  q.schedule_at(100, [&] { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.deferred_inlined(), 1u);
+  EXPECT_EQ(q.deferred_spilled(), 0u);
+}
+
+// An earlier pending event must win: the deferred wake-up spills to the
+// heap and fires after it.
+TEST(DeferredInline, SpillsWhenEarlierEventPending) {
+  EventQueue q(DispatchMode::Bytecode);
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    order.push_back(1);
+    q.schedule_or_inline(30, [&] { order.push_back(3); });
+  });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.deferred_inlined(), 0u);
+  EXPECT_EQ(q.deferred_spilled(), 1u);
+}
+
+// FIFO among equal timestamps: the wake-up reserved its sequence number at
+// the schedule_or_inline call, so an event scheduled at the same cycle
+// BEFORE it still beats it, and one scheduled AFTER it loses.
+TEST(DeferredInline, EqualTimestampKeepsFifoOrder) {
+  EventQueue q(DispatchMode::Bytecode);
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    order.push_back(1);
+    q.schedule_or_inline(50, [&] { order.push_back(3); });
+    q.schedule_at(50, [&] { order.push_back(4); });  // same cycle, later seq
+  });
+  q.schedule_at(0, [&] {
+    q.schedule_at(50, [&] { order.push_back(2); });  // same cycle, earlier seq
+  });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+// Beyond the drain horizon the wake-up must not run inline: it spills and
+// fires in the next drain.
+TEST(DeferredInline, RespectsRunUntilHorizon) {
+  EventQueue q(DispatchMode::Bytecode);
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    order.push_back(1);
+    q.schedule_or_inline(200, [&] { order.push_back(2); });
+  });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(q.deferred_spilled(), 1u);
+  q.run_until(300);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// Chained wake-ups: an inlined deferred closure may defer again; the flush
+// loop picks each one up in turn without touching the heap.
+TEST(DeferredInline, ChainsInlineAcrossClosures) {
+  EventQueue q(DispatchMode::Bytecode);
+  std::vector<Cycle> at;
+  std::function<void()> hop = [&] {
+    at.push_back(q.now());
+    if (at.size() < 5) q.schedule_or_inline(q.now() + 7, hop);
+  };
+  q.schedule_at(10, hop);
+  q.run_all();
+  EXPECT_EQ(at, (std::vector<Cycle>{10, 17, 24, 31, 38}));
+  EXPECT_EQ(q.deferred_inlined(), 4u);
+}
+
+// Inlined deferred steps count as executed events, so they burn watchdog
+// budget exactly like heap-drained events.
+TEST(DeferredInline, CountsAgainstWatchdogBudget) {
+  EventQueue q(DispatchMode::Bytecode);
+  q.set_watchdog_budget(3);
+  int fired = 0;
+  std::function<void()> hop = [&] {
+    ++fired;
+    q.schedule_or_inline(q.now() + 1, hop);
+  };
+  q.schedule_at(0, hop);
+  EXPECT_THROW(q.run_all(), WatchdogTimeout);
+  EXPECT_EQ(fired, 3);
+}
+
+// A closure that throws after deferring: the parked wake-up spills to the
+// heap (it is not lost) and the queue stays consistent.
+TEST(DeferredInline, ExceptionSpillsParkedWakeup) {
+  EventQueue q(DispatchMode::Bytecode);
+  bool woke = false;
+  q.schedule_at(10, [&] {
+    q.schedule_or_inline(20, [&] { woke = true; });
+    throw std::runtime_error("device fault");
+  });
+  EXPECT_THROW(q.run_all(), std::runtime_error);
+  EXPECT_FALSE(woke);
+  EXPECT_EQ(q.size(), 1u);  // the spilled wake-up survives
+  q.run_all();
+  EXPECT_TRUE(woke);
+}
+
+// On the reference engine schedule_or_inline degrades to plain scheduling:
+// same firing order, no inline accounting.
+TEST(DeferredInline, ReferenceEngineFallsBackToHeap) {
+  EventQueue q(DispatchMode::Reference);
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    order.push_back(1);
+    q.schedule_or_inline(15, [&] { order.push_back(2); });
+  });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.deferred_inlined(), 0u);
+  EXPECT_EQ(q.deferred_spilled(), 0u);
+}
+
+// try_step_inline must refuse while a deferred wake-up is parked: the
+// wake-up precedes the continuation in FIFO order but is not in the heap.
+TEST(DeferredInline, BlocksTryStepInlineUntilFlushed) {
+  EventQueue q(DispatchMode::Bytecode);
+  std::vector<int> order;
+  q.schedule_at(10, [&] {
+    q.schedule_or_inline(20, [&] { order.push_back(1); });
+    // Same cycle, later seq: must fire after the parked wake-up.
+    EXPECT_FALSE(q.try_step_inline(20));
+    q.schedule_at(20, [&] { order.push_back(2); });
+  });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
 }  // namespace
 }  // namespace sent::sim
