@@ -6,6 +6,14 @@
 // workers — both to measure the multi-core speedup and to check, every
 // time, that parallel campaigns produce bit-identical CampaignStats.
 // Timings land in BENCH_campaign.json for tooling.
+//
+// Durable mode (DESIGN.md §13): with --journal PATH the driver instead
+// runs ONE campaign of the case picked by --case, journaling every
+// outcome; --resume skips already-journaled seeds, --retries bounds the
+// retry policy, and --kill-after N SIGKILLs the process after N journal
+// appends (the crash-resume smoke in scripts/tier1.sh). The --json output
+// in this mode is the deterministic stats_json, so a killed-then-resumed
+// campaign's file cmp(1)s byte-identical against an uninterrupted run's.
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -22,6 +30,78 @@
 using namespace sent;
 
 namespace {
+
+// ---- the three case-study runners -----------------------------------------
+
+pipeline::AnalysisReport run_case1_seeded(std::uint64_t seed) {
+  apps::Case1Config config;
+  config.seed = seed;
+  config.sample_periods_ms = {20};  // the vulnerable rate
+  config.run_seconds = 10.0;
+  apps::Case1Result r = apps::run_case1(config);
+  return pipeline::analyze({{&r.runs[0].sensor_trace, 0}}, os::irq::kAdc);
+}
+
+pipeline::AnalysisReport run_case2_seeded(std::uint64_t seed) {
+  apps::Case2Config config;
+  config.seed = seed;
+  apps::Case2Result r = apps::run_case2(config);
+  return pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
+}
+
+pipeline::AnalysisReport run_case3_seeded(std::uint64_t seed) {
+  apps::Case3Config config;
+  config.seed = seed;
+  apps::Case3Result r = apps::run_case3(config);
+  std::vector<pipeline::TaggedTrace> traces;
+  for (net::NodeId src : r.sources)
+    traces.push_back({&r.traces[src], 0});
+  return analyze(traces, r.report_line);
+}
+
+pipeline::ScenarioRunner runner_for_case(const std::string& name) {
+  if (name == "I") return run_case1_seeded;
+  if (name == "II") return run_case2_seeded;
+  if (name == "III") return run_case3_seeded;
+  std::fprintf(stderr, "unknown --case %s (expected I, II or III)\n",
+               name.c_str());
+  return nullptr;
+}
+
+/// Durable-mode entry: one journaled (optionally resumed) campaign.
+int run_durable(const util::Cli& cli, pipeline::CampaignOptions options,
+                std::size_t jobs) {
+  const std::string case_name = cli.get("case");
+  pipeline::ScenarioRunner runner = runner_for_case(case_name);
+  if (!runner) return 2;
+
+  options.threads = jobs;
+  options.journal_path = cli.get("journal");
+  options.resume = cli.get_switch("resume");
+  options.max_retries = static_cast<std::size_t>(cli.get_int("retries"));
+  options.harness_faults.kill_after_appends =
+      static_cast<std::uint64_t>(cli.get_int("kill-after"));
+
+  bench::section("Extension E2 (durable): journaled campaign");
+  std::printf("case %s, %zu seeds, --jobs %zu, journal %s%s\n",
+              case_name.c_str(), options.runs, jobs,
+              options.journal_path.c_str(),
+              options.resume ? " (resume)" : "");
+
+  pipeline::CampaignStats stats = pipeline::run_campaign(runner, options);
+  std::printf("case %s: %s\n", case_name.c_str(),
+              pipeline::summarize(stats).c_str());
+
+  const std::string json_path = cli.get("json");
+  std::ofstream os(json_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  os << pipeline::stats_json(stats);
+  std::printf("deterministic stats written to %s\n", json_path.c_str());
+  return 0;
+}
 
 struct CaseTiming {
   std::string name;
@@ -106,6 +186,15 @@ int main(int argc, char** argv) {
   cli.add_flag("jobs", "campaign worker threads (0 = all hardware cores)",
                "0");
   cli.add_flag("json", "timing output file", "BENCH_campaign.json");
+  cli.add_flag("journal", "durable mode: run journal path (DESIGN.md §13)",
+               "");
+  cli.add_switch("resume", "durable mode: skip seeds already journaled");
+  cli.add_flag("retries", "durable mode: bounded retries per failed seed",
+               "0");
+  cli.add_flag("kill-after",
+               "durable mode: SIGKILL self after N journal appends "
+               "(crash-resume smoke)", "0");
+  cli.add_flag("case", "durable mode: case study to run (I, II, III)", "II");
   bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
   bench::ObsSession obs_session(cli);
@@ -117,47 +206,22 @@ int main(int argc, char** argv) {
   std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs"));
   if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
 
+  if (!cli.get("journal").empty()) return run_durable(cli, options, jobs);
+
   bench::section("Extension E2: randomized campaigns (trigger vs detect)");
   std::printf("jobs: %zu (serial baseline rerun for the speedup check)\n\n",
               jobs);
   std::vector<CaseTiming> timings;
 
-  timings.push_back(run_both(
-      "case I (D=20ms, 10s)", "case I  (D=20ms, 10s): ",
-      [](std::uint64_t seed) {
-        apps::Case1Config config;
-        config.seed = seed;
-        config.sample_periods_ms = {20};  // the vulnerable rate
-        config.run_seconds = 10.0;
-        apps::Case1Result r = apps::run_case1(config);
-        return pipeline::analyze({{&r.runs[0].sensor_trace, 0}},
-                                 os::irq::kAdc);
-      },
-      options, jobs));
+  timings.push_back(run_both("case I (D=20ms, 10s)", "case I  (D=20ms, 10s): ",
+                             run_case1_seeded, options, jobs));
 
-  timings.push_back(run_both(
-      "case II (20s)", "case II (20s):         ",
-      [](std::uint64_t seed) {
-        apps::Case2Config config;
-        config.seed = seed;
-        apps::Case2Result r = apps::run_case2(config);
-        return pipeline::analyze({{&r.relay_trace, 0}},
-                                 os::irq::kRadioSpi);
-      },
-      options, jobs));
+  timings.push_back(run_both("case II (20s)", "case II (20s):         ",
+                             run_case2_seeded, options, jobs));
 
-  timings.push_back(run_both(
-      "case III (9 nodes, 15s)", "case III (9 nodes, 15s):",
-      [](std::uint64_t seed) {
-        apps::Case3Config config;
-        config.seed = seed;
-        apps::Case3Result r = apps::run_case3(config);
-        std::vector<pipeline::TaggedTrace> traces;
-        for (net::NodeId src : r.sources)
-          traces.push_back({&r.traces[src], 0});
-        return analyze(traces, r.report_line);
-      },
-      options, jobs));
+  timings.push_back(run_both("case III (9 nodes, 15s)",
+                             "case III (9 nodes, 15s):", run_case3_seeded,
+                             options, jobs));
 
   double serial_total = 0.0, parallel_total = 0.0;
   bool all_identical = true;

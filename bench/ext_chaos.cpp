@@ -111,8 +111,14 @@ int main(int argc, char** argv) {
                "50000000");
   cli.add_flag("faults",
                "extra fault intensity appended to the grid (0 = none)", "0");
-  cli.add_switch("retry", "retry Failed/TimedOut runs once (offset seed)");
+  cli.add_flag("retries",
+               "bounded retries per Failed/TimedOut seed (offset-seed "
+               "schedule, collision-hopping)", "0");
   cli.add_flag("json", "curve output file", "BENCH_chaos.json");
+  cli.add_flag("journal",
+               "durable mode: journal one campaign at the --faults "
+               "intensity to this path (DESIGN.md §13)", "");
+  cli.add_switch("resume", "durable mode: skip seeds already journaled");
   bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
   bench::ObsSession obs_session(cli);
@@ -121,11 +127,40 @@ int main(int argc, char** argv) {
   options.runs = static_cast<std::size_t>(cli.get_int("runs"));
   options.k = static_cast<std::size_t>(cli.get_int("top-k"));
   options.first_seed = static_cast<std::uint64_t>(cli.get_int("first-seed"));
-  options.retry_failed = cli.get_switch("retry");
+  options.max_retries = static_cast<std::size_t>(cli.get_int("retries"));
   const auto event_budget =
       static_cast<std::uint64_t>(cli.get_int("cycle-budget"));
   std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs"));
   if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
+
+  // Durable mode: one journaled chaos campaign at the --faults intensity.
+  // The JSON is the deterministic stats_json, so an interrupted-then-
+  // resumed chaos campaign can be cmp(1)d against an uninterrupted one.
+  if (!cli.get("journal").empty()) {
+    const double intensity = cli.get_double("faults");
+    options.threads = jobs;
+    options.journal_path = cli.get("journal");
+    options.resume = cli.get_switch("resume");
+    bench::section("Extension E3 (durable): journaled chaos campaign");
+    std::printf("intensity %g, %zu seeds, --jobs %zu, journal %s%s\n",
+                intensity, options.runs, jobs, options.journal_path.c_str(),
+                options.resume ? " (resume)" : "");
+    pipeline::CampaignStats stats = pipeline::run_campaign(
+        [intensity, event_budget](std::uint64_t seed) {
+          return run_chaos(seed, intensity, event_budget);
+        },
+        options);
+    std::printf("%s\n", pipeline::summarize(stats).c_str());
+    std::ofstream os(cli.get("json"));
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", cli.get("json").c_str());
+      return 1;
+    }
+    os << pipeline::stats_json(stats);
+    std::printf("deterministic stats written to %s\n",
+                cli.get("json").c_str());
+    return 0;
+  }
 
   bench::section("Extension E3: chaos campaign (fault-intensity grid)");
   std::printf("case II relay, %zu seeds per intensity, top-%zu, "

@@ -41,12 +41,16 @@ cmake --build build-tsan -j "${JOBS}" \
 # pool workers).
 cmake -B build-asan -S . -DSENT_SANITIZE=address,undefined
 cmake --build build-asan -j "${JOBS}" \
-  --target fault_test serialize_test campaign_test cli_test obs_test \
-  interval_property_test golden_fig5_test sim_test bytecode_test \
+  --target fault_test serialize_test campaign_test journal_test cli_test \
+  obs_test interval_property_test golden_fig5_test sim_test bytecode_test \
   dispatch_parity_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/serialize_test
 ./build-asan/tests/campaign_test
+# journal_test joins the ASan pass for the durability layer (DESIGN.md
+# §13): the journal-recovery byte-mutation fuzz battery, torn/failed
+# commit chaos, and the fork+SIGKILL crash-resume test all run sanitized.
+./build-asan/tests/journal_test
 ./build-asan/tests/cli_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/interval_property_test
@@ -79,6 +83,30 @@ for key in ("version", "counters", "gauges", "histograms"):
 assert snap["counters"].get("campaign.runs", 0) > 0, "no campaign runs recorded"
 EOF
 cmp build/metrics_j1.json build/metrics_j2.json
+
+# Crash-resume smoke (DESIGN.md §13): run a journaled campaign that
+# SIGKILLs itself mid-flight (--kill-after), resume it, and require the
+# resumed stats JSON to be byte-identical to an uninterrupted run's — at a
+# different --jobs than the killed attempt, since resume must be
+# schedule-independent. The killed child must die by signal (exit 137),
+# not complete.
+rm -f build/crash.journal build/stats_clean.journal \
+  build/stats_resumed.json build/stats_clean.json
+set +e
+./build/bench/ext_campaign --runs 8 --jobs 2 --journal build/crash.journal \
+  --kill-after 3 --json build/stats_killed.json > /dev/null 2>&1
+KILLED_STATUS=$?
+set -e
+if [ "${KILLED_STATUS}" -ne 137 ]; then
+  echo "crash-resume smoke: expected SIGKILL exit 137, got ${KILLED_STATUS}" >&2
+  exit 1
+fi
+./build/bench/ext_campaign --runs 8 --jobs 4 --journal build/crash.journal \
+  --resume --json build/stats_resumed.json
+./build/bench/ext_campaign --runs 8 --jobs 1 --journal build/stats_clean.journal \
+  --json build/stats_clean.json
+cmp build/stats_resumed.json build/stats_clean.json
+rm -f build/crash.journal build/stats_clean.journal
 
 # ML data-plane smoke: the quick grid plus the built-in parity self-check
 # (optimized vs reference kernel/solver/decision). micro_perf exits nonzero

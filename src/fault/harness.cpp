@@ -1,0 +1,62 @@
+#include "fault/harness.hpp"
+
+#include <csignal>
+
+#include "util/rng.hpp"
+
+namespace sent::fault {
+
+namespace {
+
+/// Substream for one (kind, index) harness decision. The harness layer is
+/// nowhere near a hot path (one draw per attempt / per commit), so the
+/// string build is irrelevant and buys fully independent streams.
+util::Rng keyed_stream(std::uint64_t key, const char* kind,
+                       std::uint64_t index) {
+  return util::Rng(key).substream(std::string("harness-") + kind + "-" +
+                                  std::to_string(index));
+}
+
+}  // namespace
+
+HarnessInjector::HarnessInjector(HarnessFaultPlan plan) : plan_(plan) {}
+
+void HarnessInjector::maybe_abort_runner(std::uint64_t seed,
+                                         std::uint32_t attempt) const {
+  if (plan_.runner_abort_prob <= 0.0) return;
+  util::Rng rng = keyed_stream(seed, "abort", attempt);
+  if (rng.chance(plan_.runner_abort_prob)) {
+    throw HarnessAbort("harness fault: injected runner abort (seed " +
+                       std::to_string(seed) + ", attempt " +
+                       std::to_string(attempt) + ")");
+  }
+}
+
+HarnessInjector::CommitFault HarnessInjector::commit_fault(
+    std::uint64_t commit_index) const {
+  util::Rng rng = keyed_stream(0x9a11, "commit", commit_index);
+  // One stream decides both faults so their draws cannot alias: first the
+  // IO error (the commit never reaches the disk), then the torn write.
+  if (plan_.journal_io_error_prob > 0.0 &&
+      rng.chance(plan_.journal_io_error_prob)) {
+    return CommitFault::IoError;
+  }
+  if (plan_.journal_short_write_prob > 0.0 &&
+      rng.chance(plan_.journal_short_write_prob)) {
+    return CommitFault::ShortWrite;
+  }
+  return CommitFault::None;
+}
+
+double HarnessInjector::short_write_keep_fraction(
+    std::uint64_t commit_index) const {
+  util::Rng rng = keyed_stream(0x9a11, "shortwrite", commit_index);
+  return rng.uniform();
+}
+
+void HarnessInjector::maybe_kill(std::uint64_t appends) const {
+  if (plan_.kill_after_appends == 0) return;
+  if (appends >= plan_.kill_after_appends) std::raise(SIGKILL);
+}
+
+}  // namespace sent::fault

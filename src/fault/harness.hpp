@@ -1,0 +1,89 @@
+// Harness self-chaos (DESIGN.md §13): fault injection aimed at the
+// campaign machinery itself.
+//
+// src/fault's FaultPlan shakes the simulated system; a HarnessFaultPlan
+// shakes the thing running the campaign — the runner invocation, the
+// journal's commit path, and the process itself. The durability claims
+// ("a SIGKILLed campaign resumes bit-identical", "a torn journal write is
+// truncated, not trusted") are only claims until something injects those
+// failures on every verify run; this plan is how they get exercised.
+//
+// Determinism matches the rest of the fault layer: every decision is a
+// pure function of the plan plus a stable key (the run's primary seed and
+// attempt index, or the commit index), drawn from label-keyed Rng
+// substreams. A chaos campaign therefore aborts the same attempts and
+// tears the same commits at any --jobs, and — crucially for resume — a
+// re-run of a seed after a crash sees exactly the decisions the original
+// run saw.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sent::fault {
+
+/// Thrown into the campaign by an injected runner abort. Derives from
+/// std::runtime_error so the campaign's per-run isolation treats it like
+/// any real runner failure (RunStatus::Failed).
+class HarnessAbort : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Pure description of how hard to shake the harness. Holds no randomness.
+struct HarnessFaultPlan {
+  /// Per-attempt probability that the runner invocation is aborted with a
+  /// HarnessAbort before it starts (keyed by primary seed + attempt index,
+  /// so retries of the same seed draw independently).
+  double runner_abort_prob = 0.0;
+
+  /// Per-commit probability that the journal's atomic commit writes only
+  /// a prefix of its bytes before the rename lands (a torn write — the
+  /// recovery scan must truncate it, never trust it).
+  double journal_short_write_prob = 0.0;
+
+  /// Per-commit probability that the commit fails outright with an IO
+  /// error (the writer must absorb it and retry on the next commit).
+  double journal_io_error_prob = 0.0;
+
+  /// After this many journal appends, the process raises SIGKILL —
+  /// the real thing, not an exception: destructors do not run, buffers
+  /// are not flushed. 0 disables. This is how the crash-resume smoke
+  /// dies at a deterministic point mid-campaign.
+  std::uint64_t kill_after_appends = 0;
+
+  bool any() const {
+    return runner_abort_prob > 0.0 || journal_short_write_prob > 0.0 ||
+           journal_io_error_prob > 0.0 || kill_after_appends > 0;
+  }
+};
+
+/// Realizes a HarnessFaultPlan. Construction draws nothing; every query
+/// derives its own substream from the queried key.
+class HarnessInjector {
+ public:
+  explicit HarnessInjector(HarnessFaultPlan plan);
+
+  const HarnessFaultPlan& plan() const { return plan_; }
+
+  /// Throws HarnessAbort when the plan aborts attempt `attempt` (0-based)
+  /// of the run whose primary seed is `seed`.
+  void maybe_abort_runner(std::uint64_t seed, std::uint32_t attempt) const;
+
+  /// Decision for journal commit #`commit_index`.
+  enum class CommitFault { None, ShortWrite, IoError };
+  CommitFault commit_fault(std::uint64_t commit_index) const;
+
+  /// For a ShortWrite: fraction of the serialized bytes to keep, in
+  /// [0, 1). Deterministic per commit index.
+  double short_write_keep_fraction(std::uint64_t commit_index) const;
+
+  /// Raise SIGKILL if `appends` has reached the plan's kill point.
+  void maybe_kill(std::uint64_t appends) const;
+
+ private:
+  HarnessFaultPlan plan_;
+};
+
+}  // namespace sent::fault

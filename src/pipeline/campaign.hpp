@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/harness.hpp"
 #include "pipeline/sentomist.hpp"
 
 namespace sent::pipeline {
@@ -59,9 +60,23 @@ struct CampaignStats {
   // denominator.
   std::size_t failed = 0;     ///< runs whose runner threw (after any retry)
   std::size_t timed_out = 0;  ///< runs that hit the watchdog budget
-  std::size_t retried = 0;    ///< runs retried under the retry policy
+  std::size_t retried = 0;    ///< retry attempts made under the retry policy
   std::size_t degraded = 0;   ///< completed runs with a degraded report
   std::vector<RunFailure> failures;  ///< non-completed runs, seed order
+
+  // Quarantine (DESIGN.md §13): under an active retry policy
+  // (max_retries > 0), a seed that failed every attempt is quarantined —
+  // recorded here (seed order) so 10k-run triage can pull the repeat
+  // offenders without re-running anything. Deterministic, so part of ==.
+  std::size_t quarantined = 0;
+  std::vector<std::uint64_t> quarantined_seeds;  ///< seed order
+
+  // Durability (DESIGN.md §13): how many of this campaign's runs were
+  // reconstructed from the journal instead of executed. Depends on where
+  // the previous campaign crashed, so — like wall time — it is EXCLUDED
+  // from operator==: a resumed campaign must compare equal to an
+  // uninterrupted one.
+  std::size_t resumed_from_journal = 0;
 
   // Observability (DESIGN.md §11): wall-clock seconds per run, seed order
   // (retries included in their run's total). Wall time is measured, not
@@ -90,12 +105,31 @@ struct CampaignOptions {
   std::size_t k = 5;          ///< detection cut-off rank
   std::size_t threads = 1;    ///< <= 1 runs seeds serially inline
 
-  /// Retry a Failed/TimedOut run once with seed + retry_seed_offset (an
-  /// offset keeps the retry's randomness disjoint from every primary seed
-  /// in the campaign window). The retry outcome replaces the original; a
-  /// run that fails twice is recorded with its retry error.
-  bool retry_failed = false;
+  /// Retry policy (DESIGN.md §13): re-attempt a Failed/TimedOut run up to
+  /// max_retries times, each attempt at the previous attempt's seed plus
+  /// retry_seed_offset (an offset keeps retry randomness disjoint from
+  /// every primary seed). A retry seed that would land inside the
+  /// campaign's own window [first_seed, first_seed + runs) is hopped past
+  /// it deterministically — silently re-running a sibling's seed would
+  /// double-count its randomness. The final attempt's outcome stands; a
+  /// seed that fails every attempt is quarantined.
+  std::size_t max_retries = 0;
   std::uint64_t retry_seed_offset = 1'000'000'007;
+
+  /// Durability (DESIGN.md §13). Non-empty journal_path journals every
+  /// outcome; resume additionally skips seeds already journaled (the file
+  /// must carry a matching {first_seed, runs, k} meta line). Resume with
+  /// no/damaged journal file starts fresh. journal_commit_every batches
+  /// atomic commits (1 = maximum durability; a crash can lose at most the
+  /// outcomes appended since the last commit, which resume re-runs).
+  std::string journal_path;
+  bool resume = false;
+  std::uint64_t journal_commit_every = 1;
+
+  /// Harness self-chaos (DESIGN.md §13): injected failures aimed at the
+  /// campaign machinery itself. Deterministic per (plan, seed/commit), so
+  /// chaos campaigns stay bit-identical across --jobs and across resumes.
+  fault::HarnessFaultPlan harness_faults;
 };
 
 /// Run `runner` for seeds first_seed .. first_seed + runs - 1, fanning the
@@ -111,5 +145,12 @@ CampaignStats run_campaign(const ScenarioRunner& runner,
 
 /// Render a one-line summary.
 std::string summarize(const CampaignStats& stats);
+
+/// Render the deterministic sections of CampaignStats as JSON (stable key
+/// order, messages escaped). Excludes run_wall_seconds and
+/// resumed_from_journal by construction, so a resumed campaign's JSON is
+/// byte-identical to an uninterrupted run's — the crash-resume smoke
+/// cmp(1)s exactly this.
+std::string stats_json(const CampaignStats& stats);
 
 }  // namespace sent::pipeline

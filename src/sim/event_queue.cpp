@@ -159,8 +159,9 @@ void EventQueue::check_watchdog() {
     Metrics::get().watchdog_trips.inc();
     throw WatchdogTimeout(
         "simulation watchdog: event budget of " +
-        std::to_string(watchdog_budget_) + " exhausted at cycle " +
-        std::to_string(now_) + " (livelocked run?)");
+            std::to_string(watchdog_budget_) + " exhausted at cycle " +
+            std::to_string(now_) + " (livelocked run?)",
+        watchdog_budget_, executed_ - watchdog_armed_at_);
   }
 }
 

@@ -44,6 +44,24 @@ using EventId = std::uint64_t;
 class WatchdogTimeout : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+
+  /// The queue's throw site carries the budget arithmetic so campaign
+  /// triage can report it without re-running the seed: the armed budget
+  /// and the events executed since arming at the moment the watchdog
+  /// fired. Both are 0 when the exception was built without them (tests,
+  /// external throwers).
+  WatchdogTimeout(const std::string& msg, std::uint64_t budget,
+                  std::uint64_t events_executed)
+      : std::runtime_error(msg),
+        budget_(budget),
+        events_executed_(events_executed) {}
+
+  std::uint64_t budget() const { return budget_; }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  std::uint64_t budget_ = 0;
+  std::uint64_t events_executed_ = 0;
 };
 
 /// Permission for a machine to execute a run of queue-silent steps inline

@@ -1,0 +1,26 @@
+// Small non-cryptographic hashing helpers.
+//
+// FNV-1a is used wherever the codebase needs a cheap, dependency-free,
+// stable-across-builds content checksum (the campaign journal checksums
+// every record with it). It is NOT collision-resistant against an
+// adversary; it is exactly strong enough to catch torn writes, bit rot
+// and truncation, which is the failure model it guards.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sent::util {
+
+/// 64-bit FNV-1a over a byte string. Stable: the constants are part of
+/// the journal's on-disk format, so they must never change.
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace sent::util

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "apps/scenarios.hpp"
 #include "pipeline/campaign.hpp"
@@ -183,8 +185,9 @@ TEST(CampaignFaults, ParallelMatchesSerialUnderFailures) {
   }
 }
 
-// The retry policy re-runs a failed seed once with an offset seed; a retry
-// that succeeds replaces the failure, one that fails again is recorded.
+// The retry policy re-runs a failed seed with an offset seed; a retry
+// that succeeds replaces the failure, one that exhausts every attempt is
+// recorded and quarantined.
 TEST(CampaignFaults, RetryOnceWithOffsetSeed) {
   auto runner = [](std::uint64_t seed) -> AnalysisReport {
     if (seed < 100) throw std::runtime_error("primary seed always fails");
@@ -194,19 +197,104 @@ TEST(CampaignFaults, RetryOnceWithOffsetSeed) {
   options.first_seed = 0;
   options.runs = 6;
   options.k = 3;
-  options.retry_failed = true;
+  options.max_retries = 1;
   options.retry_seed_offset = 1000;  // retries run seeds 1000..1005
   CampaignStats stats = run_campaign(runner, options);
   EXPECT_EQ(stats.failed, 0u);
   EXPECT_EQ(stats.retried, 6u);
+  EXPECT_EQ(stats.quarantined, 0u);
   // Retried seeds 1000..1005: 1002 triggers (rank 2), 1005 triggers
   // (rank 5) per fake_report's seed % 3 / % 7 rules.
   EXPECT_EQ(stats.triggered, 2u);
 
-  options.retry_failed = false;
+  options.max_retries = 0;
   CampaignStats no_retry = run_campaign(runner, options);
   EXPECT_EQ(no_retry.failed, 6u);
   EXPECT_EQ(no_retry.retried, 0u);
+  EXPECT_EQ(no_retry.quarantined, 0u);  // no active retry policy
+}
+
+// Bounded retries: every attempt is counted, and a seed that fails all of
+// them is quarantined (listed in seed order) with its final error.
+TEST(CampaignFaults, ExhaustedRetriesQuarantineTheSeed) {
+  auto runner = [](std::uint64_t seed) -> AnalysisReport {
+    throw std::runtime_error("always fails (seed " + std::to_string(seed) +
+                             ")");
+  };
+  CampaignOptions options;
+  options.first_seed = 10;
+  options.runs = 3;
+  options.k = 3;
+  options.max_retries = 2;
+  options.retry_seed_offset = 1000;
+  CampaignStats stats = run_campaign(runner, options);
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_EQ(stats.retried, 6u);  // 2 retry attempts per seed
+  EXPECT_EQ(stats.quarantined, 3u);
+  EXPECT_EQ(stats.quarantined_seeds,
+            (std::vector<std::uint64_t>{10, 11, 12}));
+  ASSERT_EQ(stats.failures.size(), 3u);
+  // The recorded failure is the FINAL attempt's: seed 10's second retry
+  // ran offset seed 2010.
+  EXPECT_NE(stats.failures[0].message.find("2010"), std::string::npos);
+}
+
+// Satellite regression: a retry seed that lands inside the campaign's own
+// window [first_seed, first_seed + runs) must hop past it instead of
+// silently re-running a sibling's randomness. With offset 1 every retry
+// would land on a sibling; the hop pushes it just past the window.
+TEST(CampaignFaults, RetrySeedCollisionHopsPastCampaignWindow) {
+  std::vector<std::uint64_t> seen;
+  auto runner = [&seen](std::uint64_t seed) -> AnalysisReport {
+    seen.push_back(seed);
+    // Every primary seed fails; anything outside the window succeeds, so
+    // the old colliding behavior (re-running a sibling) would fail again.
+    if (seed < 6) throw std::runtime_error("window seed fails");
+    return fake_report(1);  // non-triggering
+  };
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 6;
+  options.k = 3;
+  options.threads = 1;  // keep `seen` race-free
+  options.max_retries = 1;
+  options.retry_seed_offset = 1;
+  CampaignStats stats = run_campaign(runner, options);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.retried, 6u);
+  // Exactly the 6 primary seeds inside the window, and every retry seed
+  // outside it: seed s retries at s+1, hopped by runs=6 when colliding.
+  std::vector<std::uint64_t> retries;
+  for (std::uint64_t seed : seen)
+    if (seed >= 6) retries.push_back(seed);
+  EXPECT_EQ(seen.size(), 12u);
+  EXPECT_EQ(retries, (std::vector<std::uint64_t>{7, 8, 9, 10, 11, 6}));
+}
+
+// The deterministic retry schedule keeps parallel campaigns bit-identical
+// to serial even when retries and quarantine are exercised.
+TEST(CampaignFaults, ParallelMatchesSerialUnderRetries) {
+  auto runner = [](std::uint64_t seed) -> AnalysisReport {
+    if (seed % 3 == 0) throw std::runtime_error("flaky");
+    return fake_report(seed);
+  };
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 30;
+  options.k = 3;
+  options.max_retries = 2;
+  // Offset 3 keeps every retry seed congruent to the failing class, so
+  // the %3==0 seeds exhaust both retries and are quarantined.
+  options.retry_seed_offset = 3;
+  options.threads = 1;
+  CampaignStats serial = run_campaign(runner, options);
+  EXPECT_GT(serial.retried, 0u);
+  EXPECT_EQ(serial.quarantined, 10u);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    options.threads = threads;
+    EXPECT_EQ(run_campaign(runner, options), serial)
+        << "threads=" << threads;
+  }
 }
 
 // Livelock end to end: a real scenario with a tiny event budget throws
@@ -223,6 +311,14 @@ TEST(CampaignFaults, EventBudgetTimesOutRealScenario) {
   CampaignStats stats = run_campaign(runner, 1, 2, 5);
   EXPECT_EQ(stats.timed_out, 2u);
   EXPECT_EQ(stats.completed(), 0u);
+  // The failure record carries the budget and the events executed at the
+  // point the watchdog fired, so triage doesn't need to re-run the seed.
+  ASSERT_EQ(stats.failures.size(), 2u);
+  for (const RunFailure& f : stats.failures) {
+    EXPECT_NE(f.message.find("[event budget 1000, events executed"),
+              std::string::npos)
+        << f.message;
+  }
 }
 
 // The summary line surfaces the new counters.
@@ -235,6 +331,45 @@ TEST(CampaignFaults, SummaryMentionsFailures) {
   std::string text = summarize(run_campaign(runner, 0, 4, 3));
   EXPECT_NE(text.find("failed 1"), std::string::npos);
   EXPECT_NE(text.find("timed out 1"), std::string::npos);
+}
+
+// ---- durable journal integration (DESIGN.md §13) --------------------------
+
+// Journaling must not perturb stats: concurrent workers all append through
+// the shared JournalWriter (this test is in the TSan pass), and a resume
+// over the complete journal reconstructs bit-identical stats without
+// invoking the runner once.
+TEST(CampaignJournal, JournaledParallelMatchesSerialAndResumes) {
+  auto runner = [](std::uint64_t seed) -> AnalysisReport {
+    if (seed % 5 == 0)
+      throw std::runtime_error("boom\twith tab and\nnewline " +
+                               std::to_string(seed));
+    return fake_report(seed);
+  };
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 24;
+  options.k = 3;
+  options.threads = 1;
+  CampaignStats golden = run_campaign(runner, options);
+
+  const std::string path = ::testing::TempDir() + "sentomist_campaign.journal";
+  std::remove(path.c_str());
+  options.journal_path = path;
+  options.threads = 4;
+  EXPECT_EQ(run_campaign(runner, options), golden);
+
+  // Resume over the complete journal: every seed is replayed from disk.
+  options.resume = true;
+  options.threads = 2;
+  auto never_called = [](std::uint64_t seed) -> AnalysisReport {
+    ADD_FAILURE() << "runner invoked for journaled seed " << seed;
+    return fake_report(seed);
+  };
+  CampaignStats resumed = run_campaign(never_called, options);
+  EXPECT_EQ(resumed, golden);
+  EXPECT_EQ(resumed.resumed_from_journal, 24u);
+  std::remove(path.c_str());
 }
 
 // Real scenario: case II triggers often and detects at rank 1.

@@ -1,0 +1,555 @@
+// Durability model tests (DESIGN.md §13): journal round-trip and recovery,
+// the seeded byte-mutation fuzz battery over recover_journal, chaos-driven
+// torn writes / IO errors, and the crash-resume integration test that
+// SIGKILLs a child campaign mid-flight and verifies the resumed stats are
+// bit-identical to an uninterrupted run.
+#include "pipeline/journal.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/harness.hpp"
+#include "pipeline/campaign.hpp"
+#include "sim/event_queue.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sent::pipeline {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << bytes;
+}
+
+JournalMeta sample_meta() { return {/*first_seed=*/7, /*runs=*/5, /*k=*/3}; }
+
+std::vector<JournalRecord> sample_records() {
+  std::vector<JournalRecord> records;
+  JournalRecord ok;
+  ok.seed = 7;
+  ok.status = RunStatus::Completed;
+  ok.triggered = true;
+  ok.first_rank = 2;
+  records.push_back(ok);
+
+  JournalRecord degraded;
+  degraded.seed = 8;
+  degraded.status = RunStatus::Completed;
+  degraded.degraded = true;
+  records.push_back(degraded);
+
+  JournalRecord failed;
+  failed.seed = 9;
+  failed.status = RunStatus::Failed;
+  failed.attempts = 3;
+  failed.quarantined = true;
+  failed.message = "tab\there newline\nhere backslash\\here \r end";
+  records.push_back(failed);
+
+  JournalRecord timed_out;
+  timed_out.seed = 10;
+  timed_out.status = RunStatus::TimedOut;
+  timed_out.message = "simulation watchdog [event budget 100, "
+                      "events executed 100]";
+  records.push_back(timed_out);
+  return records;
+}
+
+/// Write a pristine journal via the writer and return its bytes.
+std::string pristine_journal(const std::string& path) {
+  std::remove(path.c_str());
+  JournalWriter writer(path, sample_meta(), {});
+  for (const JournalRecord& r : sample_records()) writer.append(r);
+  EXPECT_TRUE(writer.commit());
+  return read_file(path);
+}
+
+// ---- round-trip and recovery units ----------------------------------------
+
+TEST(Journal, RoundTripsRecordsThroughDisk) {
+  const std::string path = temp_path("journal_roundtrip.journal");
+  pristine_journal(path);
+
+  JournalRecovery rec = recover_journal(path);
+  EXPECT_TRUE(rec.file_existed);
+  EXPECT_TRUE(rec.header_valid);
+  EXPECT_FALSE(rec.truncated);
+  EXPECT_EQ(rec.error, "");
+  EXPECT_EQ(rec.meta, sample_meta());
+  EXPECT_EQ(rec.records, sample_records());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MissingFileIsAFreshStartNotAnError) {
+  JournalRecovery rec = recover_journal(temp_path("journal_missing.nope"));
+  EXPECT_FALSE(rec.file_existed);
+  EXPECT_FALSE(rec.header_valid);
+  EXPECT_TRUE(rec.records.empty());
+}
+
+TEST(Journal, TornTailIsTruncatedNotTrusted) {
+  const std::string path = temp_path("journal_torn.journal");
+  const std::string bytes = pristine_journal(path);
+  // Tear the file mid-way through the last record line.
+  write_file(path, bytes.substr(0, bytes.size() - 10));
+
+  JournalRecovery rec = recover_journal(path);
+  EXPECT_TRUE(rec.header_valid);
+  EXPECT_TRUE(rec.truncated);
+  ASSERT_EQ(rec.records.size(), 3u);  // valid prefix only
+  EXPECT_EQ(rec.records[2].seed, 9u);
+  EXPECT_NE(rec.error, "");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FlippedChecksumByteDropsThatRecordAndEverythingAfter) {
+  const std::string path = temp_path("journal_badsum.journal");
+  std::string bytes = pristine_journal(path);
+  // Find the second run line and corrupt one byte inside it.
+  std::size_t pos = bytes.find("run\t8");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos + 6] ^= 0x20;
+  write_file(path, bytes);
+
+  JournalRecovery rec = recover_journal(path);
+  EXPECT_TRUE(rec.header_valid);
+  EXPECT_TRUE(rec.truncated);
+  ASSERT_EQ(rec.records.size(), 1u);
+  EXPECT_EQ(rec.records[0].seed, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptHeaderSalvagesNothing) {
+  const std::string path = temp_path("journal_badheader.journal");
+  std::string bytes = pristine_journal(path);
+  bytes[0] = 'X';  // damage the magic line
+  write_file(path, bytes);
+
+  JournalRecovery rec = recover_journal(path);
+  EXPECT_TRUE(rec.file_existed);
+  EXPECT_FALSE(rec.header_valid);
+  EXPECT_TRUE(rec.records.empty());
+  EXPECT_NE(rec.error, "");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ResumeSeedsWriterWithRecoveredRecords) {
+  const std::string path = temp_path("journal_reseed.journal");
+  pristine_journal(path);
+  JournalRecovery rec = recover_journal(path);
+
+  // Reopen with the recovered set and append one more record.
+  JournalWriter writer(path, rec.meta, rec.records);
+  JournalRecord extra;
+  extra.seed = 11;
+  extra.status = RunStatus::Completed;
+  writer.append(extra);
+  EXPECT_TRUE(writer.commit());
+
+  JournalRecovery again = recover_journal(path);
+  ASSERT_EQ(again.records.size(), 5u);
+  EXPECT_EQ(again.records[4], extra);
+  std::remove(path.c_str());
+}
+
+// ---- seeded byte-mutation fuzz battery (mirrors serialize_test's) ---------
+
+std::string mutate_once(std::string text, util::Rng& rng) {
+  switch (rng.below(5)) {
+    case 0:  // truncate at an arbitrary byte
+      text.resize(static_cast<std::size_t>(rng.below(text.size() + 1)));
+      break;
+    case 1: {  // overwrite one byte with an arbitrary value
+      if (text.empty()) break;
+      text[rng.below(text.size())] = static_cast<char>(rng.below(256));
+      break;
+    }
+    case 2: {  // splice a random chunk into a random position
+      if (text.size() < 2) break;
+      const std::size_t from = rng.below(text.size());
+      const std::size_t len = rng.below(text.size() - from);
+      const std::size_t to = rng.below(text.size());
+      text.insert(to, text.substr(from, len));
+      break;
+    }
+    case 3: {  // delete one whole line
+      std::vector<std::size_t> starts{0};
+      for (std::size_t i = 0; i + 1 < text.size(); ++i)
+        if (text[i] == '\n') starts.push_back(i + 1);
+      const std::size_t begin = starts[rng.below(starts.size())];
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.erase(begin, end - begin);
+      break;
+    }
+    case 4: {  // duplicate one whole line in place
+      std::vector<std::size_t> starts{0};
+      for (std::size_t i = 0; i + 1 < text.size(); ++i)
+        if (text[i] == '\n') starts.push_back(i + 1);
+      const std::size_t begin = starts[rng.below(starts.size())];
+      std::size_t end = text.find('\n', begin);
+      end = end == std::string::npos ? text.size() : end + 1;
+      text.insert(begin, text.substr(begin, end - begin));
+      break;
+    }
+  }
+  return text;
+}
+
+// Recovery over arbitrarily damaged bytes must never crash and never
+// resurrect a record that was not in the original set: a salvaged record
+// either equals one of the pristine records byte for byte (checksummed
+// lines survive splices/duplicates intact) or it does not come back at all.
+TEST(JournalFuzz, MutatedJournalNeverCrashesAndNeverResurrects) {
+  const std::string path = temp_path("journal_fuzz.journal");
+  const std::string pristine = pristine_journal(path);
+
+  std::set<std::string> originals;
+  for (const JournalRecord& r : sample_records())
+    originals.insert(format_journal_record(r));
+
+  util::Rng rng(0x10A7);
+  for (int round = 0; round < 400; ++round) {
+    std::string text = pristine;
+    const std::size_t mutations = 1 + rng.below(3);
+    for (std::size_t m = 0; m < mutations; ++m) text = mutate_once(text, rng);
+    write_file(path, text);
+
+    JournalRecovery rec = recover_journal(path);  // must not throw
+    for (const JournalRecord& r : rec.records) {
+      EXPECT_TRUE(originals.count(format_journal_record(r)))
+          << "round " << round << " resurrected a record that was never "
+          << "written: seed " << r.seed << " message '" << r.message << "'";
+    }
+    if (rec.header_valid && !rec.truncated && rec.error.empty() &&
+        text == pristine) {
+      EXPECT_EQ(rec.records.size(), 4u) << "round " << round;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// Pure-garbage bytes (not even line-structured) must yield an empty
+// recovery, not a crash.
+TEST(JournalFuzz, ArbitraryGarbageYieldsEmptyRecovery) {
+  const std::string path = temp_path("journal_garbage.journal");
+  util::Rng rng(0xBADF00D);
+  for (int round = 0; round < 50; ++round) {
+    std::string garbage;
+    const std::size_t n = rng.below(512);
+    for (std::size_t i = 0; i < n; ++i)
+      garbage.push_back(static_cast<char>(rng.below(256)));
+    write_file(path, garbage);
+    JournalRecovery rec = recover_journal(path);
+    EXPECT_TRUE(rec.records.empty()) << "round " << round;
+  }
+  std::remove(path.c_str());
+}
+
+// Zero mutations through the harness stays complete — guards the fuzz
+// harness itself.
+TEST(JournalFuzz, HarnessBaselineIsComplete) {
+  const std::string path = temp_path("journal_fuzz_baseline.journal");
+  pristine_journal(path);
+  JournalRecovery rec = recover_journal(path);
+  EXPECT_FALSE(rec.truncated);
+  EXPECT_EQ(rec.records.size(), 4u);
+  std::remove(path.c_str());
+}
+
+// ---- campaign resume ------------------------------------------------------
+
+AnalysisReport fake_report(std::uint64_t seed) {
+  AnalysisReport report;
+  const std::size_t n = 10;
+  report.samples.resize(n);
+  report.scores.resize(n, 0.5);
+  for (std::size_t i = 0; i < n; ++i) report.ranking.push_back({i, 0.5});
+  if (seed % 3 == 0) {
+    std::size_t rank = (seed % 7) + 1;
+    report.samples[report.ranking[rank - 1].sample_index].has_bug = true;
+  }
+  return report;
+}
+
+AnalysisReport mixed_runner(std::uint64_t seed) {
+  if (seed % 11 == 0) throw std::runtime_error("unlucky seed");
+  if (seed % 13 == 0) throw sim::WatchdogTimeout("stuck", 100, 100);
+  return fake_report(seed);
+}
+
+// A campaign interrupted at an arbitrary journal prefix resumes to stats
+// bit-identical to the uninterrupted golden run, at any --jobs.
+TEST(CampaignResume, PartialJournalResumesBitIdentical) {
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 26;
+  options.k = 3;
+  options.threads = 1;
+  CampaignStats golden = run_campaign(mixed_runner, options);
+
+  // Produce the complete journal once, then replay resume from several
+  // of its record prefixes.
+  const std::string path = temp_path("journal_partial.journal");
+  std::remove(path.c_str());
+  {
+    CampaignOptions journaled = options;
+    journaled.journal_path = path;
+    ASSERT_EQ(run_campaign(mixed_runner, journaled), golden);
+  }
+  JournalRecovery complete = recover_journal(path);
+  ASSERT_EQ(complete.records.size(), 26u);
+  for (std::size_t keep : {std::size_t{0}, std::size_t{7}, std::size_t{25}}) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      // Rewrite the truncated journal fresh each time: a resumed campaign
+      // re-journals the seeds it runs, completing the file again.
+      {
+        JournalWriter rewrite(path, complete.meta,
+                              {complete.records.begin(),
+                               complete.records.begin() +
+                                   static_cast<std::ptrdiff_t>(keep)});
+        ASSERT_TRUE(rewrite.commit());
+      }
+      CampaignOptions resume = options;
+      resume.journal_path = path;
+      resume.resume = true;
+      resume.threads = threads;
+      CampaignStats stats = run_campaign(mixed_runner, resume);
+      EXPECT_EQ(stats, golden) << "keep=" << keep << " threads=" << threads;
+      EXPECT_EQ(stats.resumed_from_journal, keep);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// Resume refuses a journal written by a different campaign.
+TEST(CampaignResume, MismatchedMetaIsRejected) {
+  const std::string path = temp_path("journal_mismatch.journal");
+  std::remove(path.c_str());
+  JournalWriter writer(path, {/*first_seed=*/0, /*runs=*/9, /*k=*/5}, {});
+  ASSERT_TRUE(writer.commit());
+
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 9;
+  options.k = 3;  // k differs from the journal's 5
+  options.journal_path = path;
+  options.resume = true;
+  EXPECT_THROW(run_campaign(fake_report, options), util::PreconditionError);
+  std::remove(path.c_str());
+}
+
+// A later record for the same seed supersedes an earlier one (the journal
+// is append-only; supersession is how a resumed retry overwrites).
+TEST(CampaignResume, LastRecordPerSeedWins) {
+  const std::string path = temp_path("journal_supersede.journal");
+  std::remove(path.c_str());
+  JournalMeta meta{/*first_seed=*/0, /*runs=*/2, /*k=*/3};
+  JournalRecord stale;
+  stale.seed = 0;
+  stale.status = RunStatus::Failed;
+  stale.message = "first attempt";
+  JournalRecord fresh;
+  fresh.seed = 0;
+  fresh.status = RunStatus::Completed;
+  JournalRecord other;
+  other.seed = 1;
+  other.status = RunStatus::Completed;
+  JournalWriter writer(path, meta, {stale, fresh, other});
+  ASSERT_TRUE(writer.commit());
+
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 2;
+  options.k = 3;
+  options.journal_path = path;
+  options.resume = true;
+  CampaignStats stats = run_campaign(fake_report, options);
+  EXPECT_EQ(stats.resumed_from_journal, 2u);
+  EXPECT_EQ(stats.failed, 0u);  // the stale Failed record was superseded
+  std::remove(path.c_str());
+}
+
+// Records outside the campaign's seed window are ignored on resume rather
+// than corrupting the aggregate.
+TEST(CampaignResume, OutOfWindowRecordsAreIgnored) {
+  const std::string path = temp_path("journal_window.journal");
+  std::remove(path.c_str());
+  JournalMeta meta{/*first_seed=*/0, /*runs=*/3, /*k=*/3};
+  JournalRecord inside;
+  inside.seed = 1;
+  inside.status = RunStatus::Completed;
+  JournalRecord outside;
+  outside.seed = 99;
+  outside.status = RunStatus::Failed;
+  outside.message = "not ours";
+  JournalWriter writer(path, meta, {inside, outside});
+  ASSERT_TRUE(writer.commit());
+
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 3;
+  options.k = 3;
+  options.journal_path = path;
+  options.resume = true;
+  CampaignStats stats = run_campaign(fake_report, options);
+  EXPECT_EQ(stats.resumed_from_journal, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  std::remove(path.c_str());
+}
+
+// ---- harness self-chaos ---------------------------------------------------
+
+// Injected runner aborts are deterministic in seed, not schedule: the same
+// plan produces identical stats at any --jobs, and aborted runs surface as
+// ordinary Failed records.
+TEST(HarnessChaos, RunnerAbortsAreDeterministicAcrossJobs) {
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 40;
+  options.k = 3;
+  options.threads = 1;
+  options.harness_faults.runner_abort_prob = 0.3;
+  CampaignStats serial = run_campaign(fake_report, options);
+  EXPECT_GT(serial.failed, 0u);
+  EXPECT_LT(serial.failed, 40u);
+  for (const RunFailure& f : serial.failures)
+    EXPECT_NE(f.message.find("harness"), std::string::npos) << f.message;
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    options.threads = threads;
+    EXPECT_EQ(run_campaign(fake_report, options), serial)
+        << "threads=" << threads;
+  }
+}
+
+// The retry policy recovers aborted attempts: abort decisions are keyed by
+// (seed, attempt), so a retry draws an independent decision.
+TEST(HarnessChaos, RetriesRecoverInjectedAborts) {
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 40;
+  options.k = 3;
+  options.harness_faults.runner_abort_prob = 0.3;
+  CampaignStats no_retry = run_campaign(fake_report, options);
+  options.max_retries = 3;
+  CampaignStats with_retry = run_campaign(fake_report, options);
+  EXPECT_LT(with_retry.failed, no_retry.failed);
+  EXPECT_GT(with_retry.retried, 0u);
+}
+
+// Torn commits and IO errors injected into the journal path must never
+// corrupt what recovery sees: the final commit () wins, and a recovery of
+// the file after the campaign matches the stats that campaign reported.
+TEST(HarnessChaos, TornAndFailedCommitsStillYieldAConsistentJournal) {
+  const std::string path = temp_path("journal_chaos.journal");
+  std::remove(path.c_str());
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 30;
+  options.k = 3;
+  options.threads = 2;
+  options.journal_path = path;
+  options.harness_faults.journal_short_write_prob = 0.25;
+  options.harness_faults.journal_io_error_prob = 0.25;
+  CampaignStats chaotic = run_campaign(mixed_runner, options);
+
+  CampaignOptions clean = options;
+  clean.journal_path.clear();
+  clean.harness_faults = {};
+  EXPECT_EQ(chaotic, run_campaign(mixed_runner, clean));
+
+  // Whatever survived on disk recovers to a subset of real outcomes; a
+  // resume from it must still converge to the same stats.
+  JournalRecovery rec = recover_journal(path);
+  EXPECT_TRUE(rec.header_valid);
+  CampaignOptions resume = options;
+  resume.harness_faults = {};
+  resume.resume = true;
+  EXPECT_EQ(run_campaign(mixed_runner, resume), chaotic);
+  std::remove(path.c_str());
+}
+
+// ---- crash-resume integration (fork + SIGKILL) ----------------------------
+
+// The real thing: a child process runs a journaled campaign and SIGKILLs
+// itself mid-flight via the kill_after_appends hook — no destructors, no
+// flush. The parent then resumes from whatever journal prefix landed on
+// disk and must reconstruct stats bit-identical to an uninterrupted run,
+// at --jobs 1 and 4.
+TEST(CrashResume, SigkilledCampaignResumesBitIdentical) {
+  CampaignOptions options;
+  options.first_seed = 0;
+  options.runs = 24;
+  options.k = 3;
+  options.threads = 1;
+  CampaignStats golden = run_campaign(mixed_runner, options);
+
+  for (std::size_t resume_threads : {std::size_t{1}, std::size_t{4}}) {
+    const std::string path =
+        temp_path("journal_crash_" + std::to_string(resume_threads) +
+                  ".journal");
+    std::remove(path.c_str());
+
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: journaled campaign that kills itself after 9 appends.
+      CampaignOptions child = options;
+      child.threads = 2;
+      child.journal_path = path;
+      child.harness_faults.kill_after_appends = 9;
+      try {
+        run_campaign(mixed_runner, child);
+      } catch (...) {
+      }
+      _exit(0);  // only reached if the kill hook failed to fire
+    }
+
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(wstatus))
+        << "child exited normally; kill_after_appends did not fire";
+    EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+    // The journal holds a prefix of outcomes; some seeds are missing.
+    JournalRecovery rec = recover_journal(path);
+    EXPECT_TRUE(rec.header_valid);
+    EXPECT_GE(rec.records.size(), 1u);
+    EXPECT_LT(rec.records.size(), options.runs);
+
+    CampaignOptions resume = options;
+    resume.threads = resume_threads;
+    resume.journal_path = path;
+    resume.resume = true;
+    CampaignStats resumed = run_campaign(mixed_runner, resume);
+    EXPECT_EQ(resumed, golden) << "resume threads=" << resume_threads;
+    EXPECT_EQ(resumed.resumed_from_journal, rec.records.size());
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace sent::pipeline

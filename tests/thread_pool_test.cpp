@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -92,6 +94,79 @@ TEST(ThreadPool, ParallelForEach) {
   std::iota(values.begin(), values.end(), 0);
   pool.parallel_for_each(values, [](int& v) { v *= 2; });
   for (int i = 0; i < 64; ++i) EXPECT_EQ(values[i], 2 * i);
+}
+
+// When several stripes throw, parallel_for waits for all of them and then
+// rethrows the FIRST stripe's exception (stripe order, not completion
+// order) — so the surfaced error is deterministic across runs.
+TEST(ThreadPool, ParallelForRethrowsFirstStripeDeterministically) {
+  for (int round = 0; round < 8; ++round) {
+    std::exception_ptr thrown;
+    {
+      ThreadPool pool(4);
+      try {
+        pool.parallel_for(100, [](std::size_t i) {
+          throw std::runtime_error("boom " + std::to_string(i));
+        });
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      // Pool destructor joins the workers before the exception is
+      // inspected, so the message read is ordered after every stripe's
+      // shared-state teardown.
+    }
+    ASSERT_TRUE(thrown) << "parallel_for swallowed the exceptions";
+    try {
+      std::rethrow_exception(thrown);
+    } catch (const std::runtime_error& e) {
+      // Stripe 0 owns index 0 and throws there first; stripes 1..3 also
+      // throw, but stripe order wins.
+      EXPECT_STREQ(e.what(), "boom 0");
+    }
+  }
+}
+
+// Destroying the pool with submitted-but-unstarted work must drain the
+// queue, not drop it: every future still becomes ready.
+TEST(ThreadPool, DestructionDrainsOutstandingWork) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 128; ++i)
+      futures.push_back(pool.submit([&ran] { ++ran; }));
+    // Destructor runs here with most of the queue still pending.
+  }
+  for (auto& f : futures) f.get();  // none may throw broken_promise
+  EXPECT_EQ(ran.load(), 128);
+}
+
+// threads <= 1 is documented as inline execution: same thread, strict
+// index order, exceptions surface at the throwing index.
+TEST(ThreadPool, InlineModeMatchesSerialSemantics) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1}}) {
+    ThreadPool pool(threads);
+    std::vector<std::size_t> order;
+    std::thread::id caller = std::this_thread::get_id();
+    pool.parallel_for(16, [&](std::size_t i) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      order.push_back(i);
+    });
+    std::vector<std::size_t> expected(16);
+    std::iota(expected.begin(), expected.end(), std::size_t{0});
+    EXPECT_EQ(order, expected);
+
+    std::vector<std::size_t> partial;
+    EXPECT_THROW(pool.parallel_for(16,
+                                   [&](std::size_t i) {
+                                     if (i == 5)
+                                       throw std::runtime_error("stop");
+                                     partial.push_back(i);
+                                   }),
+                 std::runtime_error);
+    EXPECT_EQ(partial,
+              (std::vector<std::size_t>{0, 1, 2, 3, 4}));  // stops at 5
+  }
 }
 
 TEST(ThreadPool, ManyConcurrentSubmits) {
