@@ -119,13 +119,12 @@ int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("seed", "experiment seed", "5");
   cli.add_flag("window-ms", "fixed-window width in ms", "20");
-  cli.add_flag("jobs", "OCSVM kernel-build threads (0 = all cores)", "0");
+  bench::add_jobs_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
 
   apps::Case1Config config;
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
-  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
+  std::size_t jobs = bench::parse_jobs(cli);
   apps::Case1Result r = apps::run_case1(config);
 
   std::vector<const trace::NodeTrace*> traces;

@@ -2,16 +2,47 @@
 #pragma once
 
 #include <cstdio>
+#include <initializer_list>
 #include <string>
 
 #include "pipeline/sentomist.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sent::bench {
 
 /// Print a section header.
 inline void section(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/// Declare the standard --jobs flag. `what` names the work that fans out
+/// (kernel build, campaign workers, ...); every driver shares the same
+/// spelling and "0 = all hardware cores" convention.
+inline void add_jobs_flag(util::Cli& cli,
+                          const std::string& what = "OCSVM kernel-build "
+                                                    "threads") {
+  cli.add_flag("jobs", what + " (0 = all hardware cores)", "0");
+}
+
+/// Resolve the parsed --jobs value (0 means every hardware core).
+inline std::size_t parse_jobs(const util::Cli& cli) {
+  auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  return jobs == 0 ? util::ThreadPool::hardware_threads() : jobs;
+}
+
+/// Validate a --case value against the driver's case list. An unknown value
+/// gets a usage error naming the valid cases; the caller exits nonzero
+/// instead of silently running a default set.
+inline bool check_case(const std::string& name,
+                       std::initializer_list<const char*> valid) {
+  for (const char* v : valid)
+    if (name == v) return true;
+  std::fprintf(stderr, "unknown --case %s (valid:", name.c_str());
+  for (const char* v : valid) std::fprintf(stderr, " %s", v);
+  std::fprintf(stderr, ")\n");
+  return false;
 }
 
 /// Print the detection-quality summary the paper reports in prose.

@@ -62,18 +62,20 @@ pipeline::AnalysisReport run_case3_seeded(std::uint64_t seed) {
 pipeline::ScenarioRunner runner_for_case(const std::string& name) {
   if (name == "I") return run_case1_seeded;
   if (name == "II") return run_case2_seeded;
-  if (name == "III") return run_case3_seeded;
-  std::fprintf(stderr, "unknown --case %s (expected I, II or III)\n",
-               name.c_str());
-  return nullptr;
+  return run_case3_seeded;
 }
 
 /// Durable-mode entry: one journaled (optionally resumed) campaign.
 int run_durable(const util::Cli& cli, pipeline::CampaignOptions options,
                 std::size_t jobs) {
   const std::string case_name = cli.get("case");
+  if (case_name == "all") {
+    std::fprintf(stderr,
+                 "durable mode journals ONE campaign: pick --case I, II or "
+                 "III\n");
+    return 2;
+  }
   pipeline::ScenarioRunner runner = runner_for_case(case_name);
-  if (!runner) return 2;
 
   options.threads = jobs;
   options.journal_path = cli.get("journal");
@@ -183,8 +185,7 @@ int main(int argc, char** argv) {
   cli.add_flag("runs", "seeds per case", "20");
   cli.add_flag("top-k", "detection cut-off", "5");
   cli.add_flag("first-seed", "first seed", "1");
-  cli.add_flag("jobs", "campaign worker threads (0 = all hardware cores)",
-               "0");
+  bench::add_jobs_flag(cli, "campaign worker threads");
   cli.add_flag("json", "timing output file", "BENCH_campaign.json");
   cli.add_flag("journal", "durable mode: run journal path (DESIGN.md §13)",
                "");
@@ -194,17 +195,21 @@ int main(int argc, char** argv) {
   cli.add_flag("kill-after",
                "durable mode: SIGKILL self after N journal appends "
                "(crash-resume smoke)", "0");
-  cli.add_flag("case", "durable mode: case study to run (I, II, III)", "II");
+  cli.add_flag("case",
+               "case study to run: I, II, III, or all (durable mode needs "
+               "a single case)", "all");
   bench::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) return 1;
   bench::ObsSession obs_session(cli);
+
+  const std::string case_name = cli.get("case");
+  if (!bench::check_case(case_name, {"I", "II", "III", "all"})) return 2;
 
   pipeline::CampaignOptions options;
   options.runs = static_cast<std::size_t>(cli.get_int("runs"));
   options.k = static_cast<std::size_t>(cli.get_int("top-k"));
   options.first_seed = static_cast<std::uint64_t>(cli.get_int("first-seed"));
-  std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs"));
-  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
+  std::size_t jobs = bench::parse_jobs(cli);
 
   if (!cli.get("journal").empty()) return run_durable(cli, options, jobs);
 
@@ -212,16 +217,21 @@ int main(int argc, char** argv) {
   std::printf("jobs: %zu (serial baseline rerun for the speedup check)\n\n",
               jobs);
   std::vector<CaseTiming> timings;
+  const bool all = case_name == "all";
 
-  timings.push_back(run_both("case I (D=20ms, 10s)", "case I  (D=20ms, 10s): ",
-                             run_case1_seeded, options, jobs));
+  if (all || case_name == "I")
+    timings.push_back(run_both("case I (D=20ms, 10s)",
+                               "case I  (D=20ms, 10s): ", run_case1_seeded,
+                               options, jobs));
 
-  timings.push_back(run_both("case II (20s)", "case II (20s):         ",
-                             run_case2_seeded, options, jobs));
+  if (all || case_name == "II")
+    timings.push_back(run_both("case II (20s)", "case II (20s):         ",
+                               run_case2_seeded, options, jobs));
 
-  timings.push_back(run_both("case III (9 nodes, 15s)",
-                             "case III (9 nodes, 15s):", run_case3_seeded,
-                             options, jobs));
+  if (all || case_name == "III")
+    timings.push_back(run_both("case III (9 nodes, 15s)",
+                               "case III (9 nodes, 15s):", run_case3_seeded,
+                               options, jobs));
 
   double serial_total = 0.0, parallel_total = 0.0;
   bool all_identical = true;

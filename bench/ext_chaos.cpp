@@ -1,6 +1,7 @@
-// Extension E3 — chaos campaign: drive case II through the deterministic
-// fault-injection harness (DESIGN.md §9) across a fault-intensity grid and
-// measure how gracefully the whole toolchain degrades.
+// Extension E3 — chaos campaign: drive a case study (--case I, II or III;
+// default II) through the deterministic fault-injection harness (DESIGN.md
+// §9) across a fault-intensity grid and measure how gracefully the whole
+// toolchain degrades.
 //
 // Each seeded run exercises the full ladder: faults perturb the simulated
 // hardware and OS while the run records; the recorded trace then makes a
@@ -38,27 +39,90 @@ using namespace sent;
 
 namespace {
 
-/// One seeded case-II run through the full fault ladder.
-pipeline::AnalysisReport run_chaos(std::uint64_t seed, double intensity,
+/// Trace I/O layer: save / perturb / salvage round-trip. The perturbation
+/// randomness comes from the run seed, not the campaign, so it is as
+/// reproducible as the run itself.
+trace::NodeTrace round_trip(const trace::NodeTrace& t,
+                            const fault::FaultPlan& faults, util::Rng rng) {
+  std::ostringstream saved;
+  trace::save_trace(t, saved);
+  std::string text =
+      fault::FaultInjector::perturb_trace_text(saved.str(), faults, rng);
+  std::istringstream in(text);
+  return trace::load_trace_lenient(in).trace;
+}
+
+/// One seeded run of the chosen case through the full fault ladder.
+pipeline::AnalysisReport run_chaos(const std::string& case_name,
+                                   std::uint64_t seed, double intensity,
                                    std::uint64_t event_budget) {
+  const fault::FaultPlan faults = fault::FaultPlan::at_intensity(intensity);
+  if (case_name == "I") {
+    apps::Case1Config config;
+    config.seed = seed;
+    config.sample_periods_ms = {20};  // the vulnerable rate
+    config.run_seconds = 10.0;
+    config.faults = faults;
+    config.event_budget = event_budget;
+    apps::Case1Result r = apps::run_case1(config);
+    trace::NodeTrace t =
+        round_trip(r.runs[0].sensor_trace, faults,
+                   util::Rng(seed).substream("trace-faults"));
+    return pipeline::analyze({{&t, 0}}, os::irq::kAdc);
+  }
+  if (case_name == "III") {
+    apps::Case3Config config;
+    config.seed = seed;
+    config.faults = faults;
+    config.event_budget = event_budget;
+    apps::Case3Result r = apps::run_case3(config);
+    // Per-node substreams: each source trace takes its own perturbation
+    // draw, so the storm is independent of how many sources exist.
+    std::vector<trace::NodeTrace> salvaged;
+    salvaged.reserve(r.sources.size());
+    for (net::NodeId src : r.sources)
+      salvaged.push_back(round_trip(
+          r.traces[src], faults,
+          util::Rng(seed).substream("trace-faults-" +
+                                    std::to_string(src))));
+    std::vector<pipeline::TaggedTrace> traces;
+    for (trace::NodeTrace& t : salvaged) traces.push_back({&t, 0});
+    return pipeline::analyze(traces, r.report_line);
+  }
   apps::Case2Config config;
   config.seed = seed;
-  config.faults = fault::FaultPlan::at_intensity(intensity);
+  config.faults = faults;
   config.event_budget = event_budget;
   apps::Case2Result r = apps::run_case2(config);
+  trace::NodeTrace t = round_trip(r.relay_trace, faults,
+                                  util::Rng(seed).substream("trace-faults"));
+  return pipeline::analyze({{&t, 0}}, os::irq::kRadioSpi);
+}
 
-  // Trace I/O layer: save / perturb / salvage round-trip. The perturbation
-  // randomness comes from the run seed, not the campaign, so it is as
-  // reproducible as the run itself.
-  std::ostringstream saved;
-  trace::save_trace(r.relay_trace, saved);
-  util::Rng trace_rng = util::Rng(seed).substream("trace-faults");
-  std::string text = fault::FaultInjector::perturb_trace_text(
-      saved.str(), config.faults, trace_rng);
-  std::istringstream in(text);
-  trace::LenientLoadResult loaded = trace::load_trace_lenient(in);
-
-  return pipeline::analyze({{&loaded.trace, 0}}, os::irq::kRadioSpi);
+/// The unmodified scenario, no fault machinery wired at all (the
+/// intensity-0 baseline).
+pipeline::AnalysisReport run_clean(const std::string& case_name,
+                                   std::uint64_t seed) {
+  if (case_name == "I") {
+    apps::Case1Config config;
+    config.seed = seed;
+    config.sample_periods_ms = {20};
+    config.run_seconds = 10.0;
+    apps::Case1Result r = apps::run_case1(config);
+    return pipeline::analyze({{&r.runs[0].sensor_trace, 0}}, os::irq::kAdc);
+  }
+  if (case_name == "III") {
+    apps::Case3Config config;
+    config.seed = seed;
+    apps::Case3Result r = apps::run_case3(config);
+    std::vector<pipeline::TaggedTrace> traces;
+    for (net::NodeId src : r.sources) traces.push_back({&r.traces[src], 0});
+    return pipeline::analyze(traces, r.report_line);
+  }
+  apps::Case2Config config;
+  config.seed = seed;
+  apps::Case2Result r = apps::run_case2(config);
+  return pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
 }
 
 struct GridRow {
@@ -104,8 +168,9 @@ int main(int argc, char** argv) {
   cli.add_flag("runs", "seeds per intensity", "12");
   cli.add_flag("top-k", "detection cut-off", "5");
   cli.add_flag("first-seed", "first seed", "1");
-  cli.add_flag("jobs", "campaign worker threads (0 = all hardware cores)",
-               "0");
+  bench::add_jobs_flag(cli, "campaign worker threads");
+  cli.add_flag("case", "case study to drive through the ladder (I, II, III)",
+               "II");
   cli.add_flag("cycle-budget",
                "watchdog event budget per run, 0 = unlimited",
                "50000000");
@@ -123,6 +188,9 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 1;
   bench::ObsSession obs_session(cli);
 
+  const std::string case_name = cli.get("case");
+  if (!bench::check_case(case_name, {"I", "II", "III"})) return 2;
+
   pipeline::CampaignOptions options;
   options.runs = static_cast<std::size_t>(cli.get_int("runs"));
   options.k = static_cast<std::size_t>(cli.get_int("top-k"));
@@ -130,8 +198,7 @@ int main(int argc, char** argv) {
   options.max_retries = static_cast<std::size_t>(cli.get_int("retries"));
   const auto event_budget =
       static_cast<std::uint64_t>(cli.get_int("cycle-budget"));
-  std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs"));
-  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
+  std::size_t jobs = bench::parse_jobs(cli);
 
   // Durable mode: one journaled chaos campaign at the --faults intensity.
   // The JSON is the deterministic stats_json, so an interrupted-then-
@@ -142,12 +209,14 @@ int main(int argc, char** argv) {
     options.journal_path = cli.get("journal");
     options.resume = cli.get_switch("resume");
     bench::section("Extension E3 (durable): journaled chaos campaign");
-    std::printf("intensity %g, %zu seeds, --jobs %zu, journal %s%s\n",
-                intensity, options.runs, jobs, options.journal_path.c_str(),
+    std::printf("case %s, intensity %g, %zu seeds, --jobs %zu, journal "
+                "%s%s\n",
+                case_name.c_str(), intensity, options.runs, jobs,
+                options.journal_path.c_str(),
                 options.resume ? " (resume)" : "");
     pipeline::CampaignStats stats = pipeline::run_campaign(
-        [intensity, event_budget](std::uint64_t seed) {
-          return run_chaos(seed, intensity, event_budget);
+        [&case_name, intensity, event_budget](std::uint64_t seed) {
+          return run_chaos(case_name, seed, intensity, event_budget);
         },
         options);
     std::printf("%s\n", pipeline::summarize(stats).c_str());
@@ -163,9 +232,9 @@ int main(int argc, char** argv) {
   }
 
   bench::section("Extension E3: chaos campaign (fault-intensity grid)");
-  std::printf("case II relay, %zu seeds per intensity, top-%zu, "
+  std::printf("case %s, %zu seeds per intensity, top-%zu, "
               "--jobs %zu, event budget %llu\n\n",
-              options.runs, options.k, jobs,
+              case_name.c_str(), options.runs, options.k, jobs,
               static_cast<unsigned long long>(event_budget));
 
   // Baseline: the unmodified scenario, no fault machinery wired at all.
@@ -176,12 +245,8 @@ int main(int argc, char** argv) {
     pipeline::CampaignOptions opts = options;
     opts.threads = jobs;
     baseline = pipeline::run_campaign(
-        [](std::uint64_t seed) {
-          apps::Case2Config config;
-          config.seed = seed;
-          apps::Case2Result r = apps::run_case2(config);
-          return pipeline::analyze({{&r.relay_trace, 0}},
-                                   os::irq::kRadioSpi);
+        [&case_name](std::uint64_t seed) {
+          return run_clean(case_name, seed);
         },
         opts);
     std::printf("baseline (no fault harness):  %s\n",
@@ -198,8 +263,8 @@ int main(int argc, char** argv) {
   bool clean_matches_baseline = false;
 
   for (double intensity : grid) {
-    auto runner = [intensity, event_budget](std::uint64_t seed) {
-      return run_chaos(seed, intensity, event_budget);
+    auto runner = [&case_name, intensity, event_budget](std::uint64_t seed) {
+      return run_chaos(case_name, seed, intensity, event_budget);
     };
 
     pipeline::CampaignOptions serial_opts = options;

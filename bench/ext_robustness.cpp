@@ -41,11 +41,10 @@ void run_row(util::Table& table, const std::string& label,
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("seed", "experiment seed", "3");
-  cli.add_flag("jobs", "OCSVM kernel-build threads (0 = all cores)", "0");
+  bench::add_jobs_flag(cli);
   if (!cli.parse(argc, argv)) return 1;
   auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-  auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
-  if (jobs == 0) jobs = util::ThreadPool::hardware_threads();
+  std::size_t jobs = bench::parse_jobs(cli);
 
   bench::section("Extension E4: case II detection under channel impairments");
   util::Table table({"channel", "arrivals", "active drops",

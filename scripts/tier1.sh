@@ -28,10 +28,16 @@ ctest --test-dir build-refdispatch --output-on-failure -j "${JOBS}"
 # merge-determinism tests hammer one registry from many threads.
 cmake -B build-tsan -S . -DSENT_SANITIZE=thread
 cmake --build build-tsan -j "${JOBS}" \
-  --target thread_pool_test campaign_test obs_test
+  --target thread_pool_test campaign_test obs_test stream_test \
+  stream_parity_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/campaign_test
 ./build-tsan/tests/obs_test
+# The streaming ingest layer shares the pool/obs-shard surface; its chaos
+# determinism test replays the same hostile storm at --jobs 1 and 4, so
+# TSan sees the detector math and metric shards race-free under load.
+./build-tsan/tests/stream_test
+./build-tsan/tests/stream_parity_test --gtest_filter='*Chaos*'
 
 # ASan+UBSan pass over the failure surface: fault injection, lenient trace
 # salvage (including the seeded byte-mutation fuzz battery), campaign
@@ -43,7 +49,7 @@ cmake -B build-asan -S . -DSENT_SANITIZE=address,undefined
 cmake --build build-asan -j "${JOBS}" \
   --target fault_test serialize_test campaign_test journal_test cli_test \
   obs_test interval_property_test golden_fig5_test sim_test bytecode_test \
-  dispatch_parity_test
+  dispatch_parity_test stream_test stream_parity_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/serialize_test
 ./build-asan/tests/campaign_test
@@ -62,11 +68,29 @@ cmake --build build-asan -j "${JOBS}" \
 ./build-asan/tests/sim_test
 ./build-asan/tests/bytecode_test
 ./build-asan/tests/dispatch_parity_test
+# The streaming ingest surface (DESIGN.md §14): the frame-decoder fuzz
+# battery, quarantine/eviction paths, and the batch≡streaming parity suite
+# all run sanitized — hostile bytes and salvage-after-poison are exactly
+# where out-of-bounds reads would hide.
+./build-asan/tests/stream_test
+./build-asan/tests/stream_parity_test
 
 # Chaos smoke: a small fault-intensity grid end to end. Exits nonzero on
 # any process abort, nondeterminism across thread counts, or a clean row
 # that fails to reproduce the no-harness baseline.
 ./build/bench/ext_chaos --runs 4 --jobs 2 --json build/BENCH_chaos_smoke.json
+
+# Fleet-ingest soak smoke (DESIGN.md §14): multi-stream chaos through the
+# streaming service. ext_fleet exits nonzero on batch≡streaming parity
+# divergence, on any logical difference between serial and parallel
+# detector math, or when peak retained bytes exceed the stream-volume
+# bound (the RSS-growth gate). The deterministic metrics sections must
+# also be byte-identical between --jobs 1 and --jobs 2 invocations.
+./build/bench/ext_fleet --streams 4 --run-seconds 1.5 --chaos 2 --jobs 1 \
+  --metrics build/metrics_fleet_j1.json --json build/BENCH_fleet_smoke.json
+./build/bench/ext_fleet --streams 4 --run-seconds 1.5 --chaos 2 --jobs 2 \
+  --metrics build/metrics_fleet_j2.json --json build/BENCH_fleet_smoke.json
+cmp build/metrics_fleet_j1.json build/metrics_fleet_j2.json
 
 # Observability smoke: --metrics must emit parseable JSON with the promised
 # top-level sections, and the deterministic sections must be byte-identical
@@ -93,7 +117,8 @@ cmp build/metrics_j1.json build/metrics_j2.json
 rm -f build/crash.journal build/stats_clean.journal \
   build/stats_resumed.json build/stats_clean.json
 set +e
-./build/bench/ext_campaign --runs 8 --jobs 2 --journal build/crash.journal \
+./build/bench/ext_campaign --case II --runs 8 --jobs 2 \
+  --journal build/crash.journal \
   --kill-after 3 --json build/stats_killed.json > /dev/null 2>&1
 KILLED_STATUS=$?
 set -e
@@ -101,9 +126,11 @@ if [ "${KILLED_STATUS}" -ne 137 ]; then
   echo "crash-resume smoke: expected SIGKILL exit 137, got ${KILLED_STATUS}" >&2
   exit 1
 fi
-./build/bench/ext_campaign --runs 8 --jobs 4 --journal build/crash.journal \
+./build/bench/ext_campaign --case II --runs 8 --jobs 4 \
+  --journal build/crash.journal \
   --resume --json build/stats_resumed.json
-./build/bench/ext_campaign --runs 8 --jobs 1 --journal build/stats_clean.journal \
+./build/bench/ext_campaign --case II --runs 8 --jobs 1 \
+  --journal build/stats_clean.journal \
   --json build/stats_clean.json
 cmp build/stats_resumed.json build/stats_clean.json
 rm -f build/crash.journal build/stats_clean.journal
@@ -126,4 +153,4 @@ test -s build/BENCH_ml.json
   --json build/BENCH_sim_smoke.json
 test -s build/BENCH_sim_smoke.json
 
-echo "tier-1 OK (incl. reference-dispatch suite + TSan concurrency/obs + ASan/UBSan fault-surface/property/golden/dispatch-parity + chaos + obs + ML parity + vMIPS gate)"
+echo "tier-1 OK (incl. reference-dispatch suite + TSan concurrency/obs/stream + ASan/UBSan fault-surface/property/golden/dispatch-parity/stream + chaos + fleet soak + obs + ML parity + vMIPS gate)"

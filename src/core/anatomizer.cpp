@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "core/stream_anatomizer.hpp"
+
 namespace sent::core {
 
 using trace::LifecycleItem;
@@ -10,101 +12,32 @@ using trace::LifecycleKind;
 
 Anatomizer::Anatomizer(const trace::NodeTrace& trace) : trace_(trace) {
   const auto& seq = trace_.lifecycle;
+  // Whole-sequence validation first, so grammar violations surface with the
+  // same diagnostics regardless of where the replay would trip over them.
   validate_lifecycle(seq);
 
-  // Criterion 1: pair the i-th postTask with the i-th runTask.
-  std::vector<std::size_t> posts, runs;
-  for (std::size_t i = 0; i < seq.size(); ++i) {
-    if (seq[i].kind == LifecycleKind::PostTask) posts.push_back(i);
-    if (seq[i].kind == LifecycleKind::RunTask) runs.push_back(i);
-  }
-  SENT_ASSERT_MSG(runs.size() <= posts.size(),
-                  "more runTask than postTask items");
-  run_of_post_.assign(posts.size(), npos);
-  for (std::size_t k = 0; k < runs.size(); ++k) {
-    run_of_post_[k] = runs[k];
-    // Cross-check: the FIFO pairing must agree on the task id.
-    SENT_ASSERT_MSG(seq[posts[k]].arg == seq[runs[k]].arg,
-                    "Criterion-1 pairing mismatch: postTask #"
-                        << k << " posts task " << seq[posts[k]].arg
-                        << " but runTask #" << k << " runs task "
-                        << seq[runs[k]].arg);
-  }
-  post_indices_ = std::move(posts);
-}
-
-std::size_t Anatomizer::run_index_for_post(std::size_t post_index) const {
-  // Find which k-th post this lifecycle index is.
-  auto it = std::lower_bound(post_indices_.begin(), post_indices_.end(),
-                             post_index);
-  SENT_ASSERT(it != post_indices_.end() && *it == post_index);
-  return run_of_post_[static_cast<std::size_t>(it - post_indices_.begin())];
+  StreamAnatomizer machine;
+  for (const auto& item : seq) machine.push(item);
+  machine.finish(trace_.run_end);
+  intervals_ = machine.drain();
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const EventInterval& a, const EventInterval& b) {
+              return a.start_index < b.start_index;
+            });
 }
 
 EventInterval Anatomizer::identify_instance(std::size_t int_index) const {
   const auto& seq = trace_.lifecycle;
   SENT_REQUIRE(int_index < seq.size());
   SENT_REQUIRE(seq[int_index].kind == LifecycleKind::Int);
-
-  EventInterval interval;
-  interval.irq = static_cast<trace::IrqLine>(seq[int_index].arg);
-  interval.start_index = int_index;
-  interval.start_cycle = seq[int_index].cycle;
-
-  // Line 1 of Figure 4: S <- the int-reti string of this int(n) item.
-  auto s = match_int_reti(seq, int_index);
-  if (!s) {
-    // Handler still open when the recording stopped.
-    interval.truncated = true;
-    interval.end_index = seq.empty() ? 0 : seq.size() - 1;
-    interval.end_cycle = trace_.run_end;
-    return interval;
-  }
-
-  // Lines 2-3: loc <- index of the last reti of S.
-  std::size_t loc = s->end;
-
-  // Lines 4-5: P <- the handler's own postTask items (Criterion 2).
-  std::vector<std::size_t> p = top_level_posts(seq, *s);
-
-  // Lines 6-22: breadth-first expansion over task generations.
-  while (!p.empty()) {
-    std::vector<std::size_t> next;
-    for (std::size_t post_idx : p) {
-      std::size_t r = run_index_for_post(post_idx);  // Criterion 1
-      if (r == npos) {
-        // Task never ran before the trace ended.
-        interval.truncated = true;
-        continue;
-      }
-      ++interval.task_count;
-      loc = r;
-      // Criterion 3: the posts made by this task.
-      std::vector<std::size_t> q = posts_of_task_run(seq, r);
-      next.insert(next.end(), q.begin(), q.end());
-    }
-    p = std::move(next);
-  }
-
-  interval.end_index = loc;
-  const LifecycleItem& last = seq[loc];
-  if (last.kind == LifecycleKind::RunTask) {
-    if (last.end_cycle == 0) {
-      // The last task was still running when recording stopped.
-      interval.truncated = true;
-    } else {
-      interval.end_cycle = last.end_cycle;
-    }
-  } else {
-    SENT_ASSERT(last.kind == LifecycleKind::Reti);
-    interval.end_cycle = last.cycle;
-  }
-  if (interval.truncated) {
-    // An incomplete instance extends to the end of the recording.
-    interval.end_index = seq.size() - 1;
-    interval.end_cycle = trace_.run_end;
-  }
-  SENT_ASSERT(interval.end_cycle >= interval.start_cycle);
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), int_index,
+      [](const EventInterval& i, std::size_t idx) {
+        return i.start_index < idx;
+      });
+  SENT_ASSERT(it != intervals_.end() && it->start_index == int_index);
+  EventInterval interval = *it;
+  interval.seq_in_type = 0;  // per-call identification carries no ordering
   return interval;
 }
 
@@ -112,27 +45,19 @@ std::vector<EventInterval> Anatomizer::intervals_for(
     trace::IrqLine line) const {
   std::vector<EventInterval> out;
   const auto& seq = trace_.lifecycle;
-  for (std::size_t i = 0; i < seq.size(); ++i) {
-    if (seq[i].kind == LifecycleKind::Int && seq[i].arg == line) {
-      EventInterval interval = identify_instance(i);
-      interval.seq_in_type = out.size();
-      out.push_back(interval);
-    }
+  for (const EventInterval& interval : intervals_) {
+    if (seq[interval.start_index].arg != line) continue;
+    out.push_back(interval);
+    out.back().seq_in_type = out.size() - 1;
   }
   return out;
 }
 
 std::vector<EventInterval> Anatomizer::all_intervals() const {
-  std::vector<EventInterval> out;
+  std::vector<EventInterval> out = intervals_;
   std::map<trace::IrqLine, std::size_t> counters;
-  const auto& seq = trace_.lifecycle;
-  for (std::size_t i = 0; i < seq.size(); ++i) {
-    if (seq[i].kind == LifecycleKind::Int) {
-      EventInterval interval = identify_instance(i);
-      interval.seq_in_type = counters[interval.irq]++;
-      out.push_back(interval);
-    }
-  }
+  for (EventInterval& interval : out)
+    interval.seq_in_type = counters[interval.irq]++;
   return out;
 }
 

@@ -18,6 +18,12 @@
 // handler posts -> their runTasks -> the posts inside those runs -> ...
 // Intervals may overlap (instances interleave); that is deliberate — the
 // featurizer counts everything executed inside the wall-clock window.
+//
+// Since the streaming refactor, the batch Anatomizer is a thin REPLAY over
+// the push-mode state machine (core/stream_anatomizer.hpp): the whole
+// lifecycle sequence is pushed through a StreamAnatomizer at construction
+// and the emitted intervals are cached sorted by start index. Batch and
+// streaming results are therefore bit-identical by construction.
 #pragma once
 
 #include <cstddef>
@@ -52,7 +58,9 @@ struct EventInterval {
 
 class Anatomizer {
  public:
-  /// Builds the Criterion-1 post/run pairing; validates the sequence.
+  /// Validates the sequence, then replays it through the streaming state
+  /// machine and caches every interval (sorted by start index). Throws
+  /// (MalformedTrace / AssertionError) on concurrency-model violations.
   explicit Anatomizer(const trace::NodeTrace& trace);
 
   /// All event-handling intervals whose event type is interrupt line
@@ -71,14 +79,8 @@ class Anatomizer {
 
  private:
   const trace::NodeTrace& trace_;
-  /// postTask lifecycle index -> paired runTask lifecycle index (or npos
-  /// when the trace ended before the task ran).
-  std::vector<std::size_t> run_of_post_;
-  std::vector<std::size_t> post_indices_;  // all postTask item indices
-
-  static constexpr std::size_t npos = ~std::size_t{0};
-
-  std::size_t run_index_for_post(std::size_t post_index) const;
+  /// Every interval of the trace, sorted by start_index (one per Int item).
+  std::vector<EventInterval> intervals_;
 };
 
 }  // namespace sent::core

@@ -13,9 +13,8 @@ namespace {
 // `fn(instr_id)` for each. The instruction stream is chronological, so a
 // binary search bounds the scan.
 template <typename Fn>
-void for_instrs_in_window(const trace::NodeTrace& trace,
+void for_instrs_in_window(std::span<const trace::InstrExec> instrs,
                           const EventInterval& interval, Fn&& fn) {
-  const auto& instrs = trace.instrs;
   auto lo = std::lower_bound(
       instrs.begin(), instrs.end(), interval.start_cycle,
       [](const trace::InstrExec& e, sim::Cycle c) { return e.cycle < c; });
@@ -27,53 +26,100 @@ void for_instrs_in_window(const trace::NodeTrace& trace,
 
 }  // namespace
 
+std::vector<std::string> instruction_counter_names(
+    const std::vector<trace::InstrMeta>& table) {
+  std::vector<std::string> names;
+  names.reserve(table.size());
+  for (const auto& meta : table)
+    names.push_back(meta.code_object + "/" + meta.name);
+  return names;
+}
+
+void instruction_counter_row(std::span<const trace::InstrExec> instrs,
+                             const EventInterval& interval,
+                             std::span<double> row) {
+  for_instrs_in_window(instrs, interval, [&](trace::InstrId id) {
+    SENT_ASSERT(id < row.size());
+    row[id] += 1.0;
+  });
+}
+
+const std::vector<std::string>& coarse_feature_names() {
+  static const std::vector<std::string> names = {
+      "duration_cycles", "instr_executed", "task_count", "posts_in_window",
+      "ints_in_window"};
+  return names;
+}
+
+void coarse_row(std::span<const trace::InstrExec> instrs,
+                std::span<const trace::LifecycleItem> items,
+                std::size_t items_base, const EventInterval& interval,
+                std::span<double> row) {
+  SENT_ASSERT(interval.start_index >= items_base);
+  double instr_executed = 0;
+  for_instrs_in_window(instrs, interval,
+                       [&](trace::InstrId) { instr_executed += 1.0; });
+  double posts = 0, ints = 0;
+  for (std::size_t i = interval.start_index;
+       i <= interval.end_index && i - items_base < items.size(); ++i) {
+    const auto& item = items[i - items_base];
+    posts += item.kind == trace::LifecycleKind::PostTask;
+    ints += item.kind == trace::LifecycleKind::Int;
+  }
+  row[0] = static_cast<double>(interval.duration());
+  row[1] = instr_executed;
+  row[2] = static_cast<double>(interval.task_count);
+  row[3] = posts;
+  row[4] = ints;
+}
+
+CodeObjectColumns CodeObjectColumns::build(
+    const std::vector<trace::InstrMeta>& table) {
+  CodeObjectColumns columns;
+  std::unordered_map<std::string, std::size_t> index;
+  index.reserve(table.size());
+  columns.instr_to_column.resize(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::string& name = table[i].code_object;
+    auto [it, inserted] = index.try_emplace(name, columns.names.size());
+    if (inserted) columns.names.push_back(name);
+    columns.instr_to_column[i] = it->second;
+  }
+  return columns;
+}
+
+void code_object_row(std::span<const trace::InstrExec> instrs,
+                     const CodeObjectColumns& columns,
+                     const EventInterval& interval, std::span<double> row) {
+  for_instrs_in_window(instrs, interval, [&](trace::InstrId id) {
+    SENT_ASSERT(id < columns.instr_to_column.size());
+    row[columns.instr_to_column[id]] += 1.0;
+  });
+}
+
 FeatureMatrix instruction_counters(
     const trace::NodeTrace& trace, std::span<const EventInterval> intervals) {
   SENT_REQUIRE_MSG(!trace.instr_table.empty(),
                    "trace has no instruction table");
   FeatureMatrix m;
-  m.names.reserve(trace.instr_table.size());
-  for (const auto& meta : trace.instr_table)
-    m.names.push_back(meta.code_object + "/" + meta.name);
+  m.names = instruction_counter_names(trace.instr_table);
 
   // One flat allocation for the whole matrix; rows are zero-filled and
   // incremented in place (no per-interval scratch row).
   m.values = ml::Matrix(intervals.size(), trace.instr_table.size());
-  for (std::size_t r = 0; r < intervals.size(); ++r) {
-    std::span<double> row = m.values.row(r);
-    for_instrs_in_window(trace, intervals[r], [&](trace::InstrId id) {
-      SENT_ASSERT(id < row.size());
-      row[id] += 1.0;
-    });
-  }
+  for (std::size_t r = 0; r < intervals.size(); ++r)
+    instruction_counter_row(trace.instrs, intervals[r], m.values.row(r));
   return m;
 }
 
 FeatureMatrix coarse_features(const trace::NodeTrace& trace,
                               std::span<const EventInterval> intervals) {
   FeatureMatrix m;
-  m.names = {"duration_cycles", "instr_executed", "task_count",
-             "posts_in_window", "ints_in_window"};
+  m.names = coarse_feature_names();
   m.values = ml::Matrix(intervals.size(), m.names.size());
-  for (std::size_t r = 0; r < intervals.size(); ++r) {
-    const auto& interval = intervals[r];
-    double instr_executed = 0;
-    for_instrs_in_window(trace, interval,
-                         [&](trace::InstrId) { instr_executed += 1.0; });
-    double posts = 0, ints = 0;
-    for (std::size_t i = interval.start_index;
-         i <= interval.end_index && i < trace.lifecycle.size(); ++i) {
-      const auto& item = trace.lifecycle[i];
-      posts += item.kind == trace::LifecycleKind::PostTask;
-      ints += item.kind == trace::LifecycleKind::Int;
-    }
-    std::span<double> row = m.values.row(r);
-    row[0] = static_cast<double>(interval.duration());
-    row[1] = instr_executed;
-    row[2] = static_cast<double>(interval.task_count);
-    row[3] = posts;
-    row[4] = ints;
-  }
+  for (std::size_t r = 0; r < intervals.size(); ++r)
+    coarse_row(trace.instrs, trace.lifecycle, 0, intervals[r],
+               m.values.row(r));
   return m;
 }
 
@@ -81,27 +127,12 @@ FeatureMatrix code_object_counters(
     const trace::NodeTrace& trace, std::span<const EventInterval> intervals) {
   SENT_REQUIRE_MSG(!trace.instr_table.empty(),
                    "trace has no instruction table");
-  // Column per distinct code object, in order of first appearance.
-  std::vector<std::string> objects;
-  std::unordered_map<std::string, std::size_t> column;
-  column.reserve(trace.instr_table.size());
-  std::vector<std::size_t> instr_to_column(trace.instr_table.size());
-  for (std::size_t i = 0; i < trace.instr_table.size(); ++i) {
-    const std::string& name = trace.instr_table[i].code_object;
-    auto [it, inserted] = column.try_emplace(name, objects.size());
-    if (inserted) objects.push_back(name);
-    instr_to_column[i] = it->second;
-  }
-
+  CodeObjectColumns columns = CodeObjectColumns::build(trace.instr_table);
   FeatureMatrix m;
-  m.names = objects;
-  m.values = ml::Matrix(intervals.size(), objects.size());
-  for (std::size_t r = 0; r < intervals.size(); ++r) {
-    std::span<double> row = m.values.row(r);
-    for_instrs_in_window(trace, intervals[r], [&](trace::InstrId id) {
-      row[instr_to_column[id]] += 1.0;
-    });
-  }
+  m.names = columns.names;
+  m.values = ml::Matrix(intervals.size(), m.names.size());
+  for (std::size_t r = 0; r < intervals.size(); ++r)
+    code_object_row(trace.instrs, columns, intervals[r], m.values.row(r));
   return m;
 }
 

@@ -1,0 +1,65 @@
+#include "fault/stream_chaos.hpp"
+
+#include <algorithm>
+
+namespace sent::fault {
+
+StreamChaosPlan StreamChaosPlan::at_intensity(double intensity) {
+  StreamChaosPlan plan;
+  plan.corrupt_prob = 0.05 * intensity;
+  plan.truncate_prob = 0.02 * intensity;
+  plan.drop_prob = 0.03 * intensity;
+  plan.dup_prob = 0.05 * intensity;
+  plan.reorder_prob = 0.20 * intensity;
+  plan.stall_prob = 0.01 * intensity;
+  return plan;
+}
+
+std::vector<ChaosFrame> perturb_frames(
+    const std::vector<std::vector<std::uint8_t>>& frames,
+    const StreamChaosPlan& plan, util::Rng& rng) {
+  std::vector<ChaosFrame> out;
+  out.reserve(frames.size());
+  std::uint64_t stall_shift = 0;  // a stalled producer delays everything after
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (plan.stall_prob > 0.0 && rng.chance(plan.stall_prob))
+      stall_shift += plan.stall_ticks;
+    if (plan.drop_prob > 0.0 && rng.chance(plan.drop_prob)) continue;
+
+    ChaosFrame attempt;
+    attempt.bytes = frames[i];
+    attempt.send_tick = i + stall_shift;
+    if (plan.truncate_prob > 0.0 && !attempt.bytes.empty() &&
+        rng.chance(plan.truncate_prob)) {
+      attempt.bytes.resize(
+          static_cast<std::size_t>(rng.below(attempt.bytes.size())));
+    }
+    if (plan.corrupt_prob > 0.0 && !attempt.bytes.empty() &&
+        rng.chance(plan.corrupt_prob)) {
+      std::size_t pos = static_cast<std::size_t>(
+          rng.below(attempt.bytes.size()));
+      // XOR with a nonzero mask always changes the byte, so a "corrupted"
+      // frame is never accidentally intact.
+      attempt.bytes[pos] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    if (plan.reorder_prob > 0.0 && plan.reorder_ticks > 0 &&
+        rng.chance(plan.reorder_prob)) {
+      attempt.send_tick += 1 + rng.below(plan.reorder_ticks);
+    }
+    if (plan.dup_prob > 0.0 && rng.chance(plan.dup_prob)) {
+      ChaosFrame dup = attempt;
+      dup.send_tick += 1 + rng.below(plan.reorder_ticks ? plan.reorder_ticks
+                                                        : 1);
+      out.push_back(std::move(dup));
+    }
+    out.push_back(std::move(attempt));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ChaosFrame& a, const ChaosFrame& b) {
+                     return a.send_tick < b.send_tick;
+                   });
+  return out;
+}
+
+}  // namespace sent::fault

@@ -1,0 +1,57 @@
+// Ingest-path chaos (DESIGN.md §14).
+//
+// The runtime FaultPlan shakes the *system under test*; a StreamChaosPlan
+// shakes the *transport between the fleet and the ingest service*: frames
+// get corrupted, truncated, dropped, duplicated, delayed out of order, or
+// held back by a stalled producer. perturb_frames() is pure — it rewrites
+// an encoded frame sequence into delivery attempts with logical-tick
+// delays, holding no randomness of its own — so for a fixed (plan, rng
+// substream) the same storm hits the ingest byte for byte at any --jobs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sent::fault {
+
+struct StreamChaosPlan {
+  double corrupt_prob = 0.0;   ///< one byte of the frame is rewritten
+  double truncate_prob = 0.0;  ///< frame cut short at a random point
+  double drop_prob = 0.0;      ///< frame never arrives
+  double dup_prob = 0.0;       ///< frame delivered a second time, later
+  double reorder_prob = 0.0;   ///< frame delayed past its successors
+  std::uint64_t reorder_ticks = 8;  ///< max reorder delay (uniform 1..max)
+  /// Per-frame probability the producer goes silent BEFORE sending it;
+  /// the stall delays this and every later frame of the stream, so it
+  /// exercises the ingest's stall watchdog rather than a single gap.
+  double stall_prob = 0.0;
+  std::uint64_t stall_ticks = 96;
+
+  bool any() const {
+    return corrupt_prob > 0.0 || truncate_prob > 0.0 || drop_prob > 0.0 ||
+           dup_prob > 0.0 || reorder_prob > 0.0 || stall_prob > 0.0;
+  }
+
+  /// Canonical chaos grid point, mirroring FaultPlan::at_intensity: rates
+  /// scale linearly with `intensity`, magnitudes stay fixed.
+  static StreamChaosPlan at_intensity(double intensity);
+};
+
+/// One delivery attempt: offer `bytes` once the stream's logical send clock
+/// reaches `send_tick` (the driver maps ticks onto FleetIngest::tick()).
+struct ChaosFrame {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t send_tick = 0;
+};
+
+/// Rewrite an encoded frame sequence (trace::encode_trace output) into
+/// delivery attempts, sorted by send_tick (ties keep encode order). With a
+/// default plan this is the identity schedule: one attempt per frame at
+/// ticks 0..N-1.
+std::vector<ChaosFrame> perturb_frames(
+    const std::vector<std::vector<std::uint8_t>>& frames,
+    const StreamChaosPlan& plan, util::Rng& rng);
+
+}  // namespace sent::fault

@@ -148,6 +148,37 @@ bool Snapshot::deterministic_equal(const Snapshot& other) const {
          histograms == other.histograms;
 }
 
+namespace {
+
+template <typename T>
+const T* find_sorted(
+    const std::vector<std::pair<std::string, T>>& section,
+    std::string_view name) {
+  auto it = std::lower_bound(
+      section.begin(), section.end(), name,
+      [](const std::pair<std::string, T>& entry, std::string_view n) {
+        return entry.first < n;
+      });
+  if (it == section.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+}  // namespace
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+  const std::uint64_t* v = find_sorted(counters, name);
+  return v ? *v : 0;
+}
+
+std::uint64_t Snapshot::gauge_value(std::string_view name) const {
+  const std::uint64_t* v = find_sorted(gauges, name);
+  return v ? *v : 0;
+}
+
+const HistogramData* Snapshot::histogram_data(std::string_view name) const {
+  return find_sorted(histograms, name);
+}
+
 // ---------------------------------------------------------------------------
 
 Registry::Shard::~Shard() {

@@ -73,6 +73,14 @@ struct Snapshot {
 
   /// Equality over the deterministic sections only (timers ignored).
   bool deterministic_equal(const Snapshot& other) const;
+
+  /// Value of a named counter / gauge, 0 when absent. Sections are sorted
+  /// by name so lookup is a binary search; tests and smoke checks assert
+  /// on these instead of re-parsing to_json().
+  std::uint64_t counter_value(std::string_view name) const;
+  std::uint64_t gauge_value(std::string_view name) const;
+  /// Merged histogram by name, nullptr when absent.
+  const HistogramData* histogram_data(std::string_view name) const;
 };
 
 class Registry;

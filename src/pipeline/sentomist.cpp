@@ -162,6 +162,15 @@ AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
                    "no event-handling intervals for line "
                        << int(line) << " in the given traces");
 
+  Metrics::get().samples_per_analysis.record(report.samples.size());
+  score_and_rank(report, std::move(matrix), options);
+  return report;
+}
+
+void score_and_rank(AnalysisReport& report, core::FeatureMatrix matrix,
+                    const AnalysisOptions& options) {
+  SENT_REQUIRE_MSG(matrix.size() == report.samples.size(),
+                   "feature rows and samples out of step");
   std::shared_ptr<core::OutlierDetector> detector =
       options.detector   ? options.detector
       : options.pool     ? default_detector(*options.pool)
@@ -169,7 +178,6 @@ AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
   report.detector_name = detector->name();
   report.feature_dim = matrix.dim();
 
-  Metrics::get().samples_per_analysis.record(report.samples.size());
   try {
     obs::Span score_span("pipeline.score", "pipeline");
     report.scores = detector->score(matrix.values);
@@ -187,12 +195,12 @@ AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
   SENT_ASSERT(report.scores.size() == report.samples.size());
   core::normalize_scores(report.scores);
 
+  report.ranking.clear();
   auto ranked = core::rank_ascending(report.scores);
   report.ranking.reserve(ranked.size());
   for (const auto& r : ranked)
     report.ranking.push_back(RankedEntry{r.index, r.score});
   if (options.keep_features) report.features = std::move(matrix);
-  return report;
 }
 
 core::Localization localize_top_k(const AnalysisReport& report,

@@ -103,6 +103,16 @@ AnalysisReport analyze(const std::vector<TaggedTrace>& traces,
                        trace::IrqLine line,
                        const AnalysisOptions& options = {});
 
+/// The scoring tail of analyze(), shared with the streaming fleet-ingest
+/// service (src/stream) so a streamed analysis ranks bit-identically to the
+/// batch pipeline: select the detector (options.detector, else the default
+/// OCSVM on options.pool), score `matrix`, fall back to k-NN on
+/// ml::TrainingError, normalize, and fill scores / ranking / detector_name
+/// / feature_dim (and `features` when keep_features) on `report`. The
+/// report's samples must already be populated in matrix-row order.
+void score_and_rank(AnalysisReport& report, core::FeatureMatrix matrix,
+                    const AnalysisOptions& options = {});
+
 /// Render the paper's Figure-5 style table: ascending scores with instance
 /// indices. `top` and `bottom` bound how many head/tail rows to include
 /// (the paper prints the head, an ellipsis, and the tail).

@@ -1,0 +1,111 @@
+// Binary frame format for streaming trace ingest (DESIGN.md §14).
+//
+// A recorded NodeTrace is sliced into a sequence of checksummed frames so a
+// fleet of devices can ship their lifecycle/instruction/bug streams to the
+// ingest service incrementally:
+//
+//   Hello(seq 0)  — node id + instruction-table fingerprint, so the service
+//                   can reject streams built against a different program
+//                   image (the table itself is service configuration);
+//   Events(seq i) — a chunk of records merged across the three recorder
+//                   streams in cycle order;
+//   End(seq last) — the recording's run_end.
+//
+// Wire layout (little-endian, fixed width):
+//
+//   [0]      magic 0xF5
+//   [1]      wire version (1)
+//   [2]      frame type
+//   [3..6]   device id (u32)
+//   [7..14]  sequence number (u64)
+//   [15..18] payload length (u32)
+//   [19..]   payload
+//   last 8   FNV-1a64 checksum over everything before it
+//
+// decode_frame() is the hostile-input boundary of the whole streaming
+// layer: it NEVER throws and never reads out of bounds, whatever bytes it
+// is given — corrupt frames come back as {ok == false, error} and the
+// ingest service quarantines them (tests/stream_test.cpp fuzzes this with
+// seeded byte mutations and truncations).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace sent::trace {
+
+inline constexpr std::uint8_t kFrameMagic = 0xF5;
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+enum class FrameType : std::uint8_t { Hello = 1, Events = 2, End = 3 };
+
+/// One record inside an Events frame payload: a lifecycle item, an executed
+/// instruction, or a ground-truth bug marker.
+struct FrameEvent {
+  enum class Kind : std::uint8_t { Lifecycle = 0, Instr = 1, Bug = 2 };
+  Kind kind = Kind::Lifecycle;
+  LifecycleItem item{};  ///< valid when kind == Lifecycle
+  InstrExec instr{0, 0};  ///< valid when kind == Instr
+  BugMarker bug{};       ///< valid when kind == Bug
+
+  sim::Cycle cycle() const {
+    switch (kind) {
+      case Kind::Lifecycle: return item.cycle;
+      case Kind::Instr: return instr.cycle;
+      case Kind::Bug: return bug.cycle;
+    }
+    return 0;
+  }
+};
+
+struct Frame {
+  FrameType type = FrameType::Events;
+  std::uint32_t device = 0;
+  std::uint64_t seq = 0;
+
+  // Hello:
+  std::uint32_t node_id = 0;
+  std::uint32_t instr_table_size = 0;
+  std::uint64_t instr_table_hash = 0;
+
+  // Events:
+  std::vector<FrameEvent> events;
+
+  // End:
+  sim::Cycle run_end = 0;
+};
+
+/// Serialize one frame (header + payload + checksum).
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+struct FrameDecodeResult {
+  bool ok = false;
+  Frame frame;        ///< on failure: header fields best-effort, rest empty
+  std::string error;  ///< set when !ok
+};
+
+/// Parse one complete frame. Rejects (never throws, never reads out of
+/// bounds): short buffers, bad magic/version, payload-length mismatches,
+/// checksum mismatches, unknown type/kind codes, runTask records whose
+/// end_cycle precedes their start, and trailing payload bytes.
+FrameDecodeResult decode_frame(std::span<const std::uint8_t> bytes);
+
+/// Content fingerprint of an instruction table (FNV-1a64 over all rows);
+/// carried by Hello frames and checked against the service's configured
+/// program image.
+std::uint64_t instr_table_fingerprint(const std::vector<InstrMeta>& table);
+
+/// Slice a recorded trace into Hello + Events... + End frames. The three
+/// recorder streams are merged in cycle order (ties: lifecycle, then
+/// instructions, then bug markers), `events_per_frame` records per Events
+/// frame, sequence numbers 0..N-1.
+std::vector<std::vector<std::uint8_t>> encode_trace(
+    const NodeTrace& trace, std::uint32_t device,
+    std::size_t events_per_frame = 64);
+
+}  // namespace sent::trace
