@@ -2,10 +2,20 @@
 // case-study bug is (trigger rate across seeds) versus how reliably
 // Sentomist surfaces it when it does fire (top-k detection rate).
 //
-// Each case is run twice — serially and fanned out over --jobs pool
-// workers — both to measure the multi-core speedup and to check, every
-// time, that parallel campaigns produce bit-identical CampaignStats.
-// Timings land in BENCH_campaign.json for tooling.
+// Grid mode (default): each case runs serially and fanned out over --jobs
+// pool workers — both to measure the multi-core speedup and to check,
+// every time, that parallel campaigns produce bit-identical CampaignStats.
+// Timing is warmup + median-of---reps with a per-phase breakdown (setup /
+// simulate / analyze wall seconds from the worker-sharded PhaseShards), so
+// the speedup claims in BENCH_campaign.json are stable and attributable.
+//
+// Scale mode (--scale N): one N-run chaos campaign (the amortized campaign
+// engine's headline, DESIGN.md §15) through three legs — serial pooled,
+// --jobs pooled, and --jobs with fresh per-run construction — asserting
+// CampaignStats AND merged obs snapshots are bit-identical across all
+// three, and reporting speedup / efficiency against min(jobs,
+// hardware_threads). --min-efficiency gates it for CI; --stats-out writes
+// cmp(1)-able stats_json files for the serial and parallel legs.
 //
 // Durable mode (DESIGN.md §13): with --journal PATH the driver instead
 // runs ONE campaign of the case picked by --case, journaling every
@@ -14,16 +24,18 @@
 // appends (the crash-resume smoke in scripts/tier1.sh). The --json output
 // in this mode is the deterministic stats_json, so a killed-then-resumed
 // campaign's file cmp(1)s byte-identical against an uninterrupted run's.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
-#include "apps/scenarios.hpp"
 #include "bench_util.hpp"
 #include "obs_flags.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/campaign.hpp"
+#include "pipeline/worker_pool.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,38 +43,30 @@ using namespace sent;
 
 namespace {
 
-// ---- the three case-study runners -----------------------------------------
-
-pipeline::AnalysisReport run_case1_seeded(std::uint64_t seed) {
-  apps::Case1Config config;
-  config.seed = seed;
-  config.sample_periods_ms = {20};  // the vulnerable rate
-  config.run_seconds = 10.0;
-  apps::Case1Result r = apps::run_case1(config);
-  return pipeline::analyze({{&r.runs[0].sensor_trace, 0}}, os::irq::kAdc);
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
-pipeline::AnalysisReport run_case2_seeded(std::uint64_t seed) {
-  apps::Case2Config config;
-  config.seed = seed;
-  apps::Case2Result r = apps::run_case2(config);
-  return pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v.size() % 2 ? v[v.size() / 2]
+                      : 0.5 * (v[v.size() / 2 - 1] + v[v.size() / 2]);
 }
 
-pipeline::AnalysisReport run_case3_seeded(std::uint64_t seed) {
-  apps::Case3Config config;
-  config.seed = seed;
-  apps::Case3Result r = apps::run_case3(config);
-  std::vector<pipeline::TaggedTrace> traces;
-  for (net::NodeId src : r.sources)
-    traces.push_back({&r.traces[src], 0});
-  return analyze(traces, r.report_line);
+void print_phases(const char* label, const pipeline::PhaseTotals& t) {
+  std::printf("  %-22s setup %.3fs, simulate %.3fs, analyze %.3fs "
+              "(%llu runs)\n",
+              label, t.setup_seconds, t.simulate_seconds, t.analyze_seconds,
+              static_cast<unsigned long long>(t.runs));
 }
 
-pipeline::ScenarioRunner runner_for_case(const std::string& name) {
-  if (name == "I") return run_case1_seeded;
-  if (name == "II") return run_case2_seeded;
-  return run_case3_seeded;
+void json_phases(std::ofstream& os, const pipeline::PhaseTotals& t) {
+  os << "{\"setup_seconds\": " << t.setup_seconds
+     << ", \"simulate_seconds\": " << t.simulate_seconds
+     << ", \"analyze_seconds\": " << t.analyze_seconds << "}";
 }
 
 /// Durable-mode entry: one journaled (optionally resumed) campaign.
@@ -75,12 +79,13 @@ int run_durable(const util::Cli& cli, pipeline::CampaignOptions options,
                  "III\n");
     return 2;
   }
-  pipeline::ScenarioRunner runner = runner_for_case(case_name);
 
   options.threads = jobs;
   options.journal_path = cli.get("journal");
   options.resume = cli.get_switch("resume");
   options.max_retries = static_cast<std::size_t>(cli.get_int("retries"));
+  options.journal_flush_every =
+      static_cast<std::size_t>(cli.get_int("journal-flush"));
   options.harness_faults.kill_after_appends =
       static_cast<std::uint64_t>(cli.get_int("kill-after"));
 
@@ -90,7 +95,8 @@ int run_durable(const util::Cli& cli, pipeline::CampaignOptions options,
               options.journal_path.c_str(),
               options.resume ? " (resume)" : "");
 
-  pipeline::CampaignStats stats = pipeline::run_campaign(runner, options);
+  pipeline::CampaignStats stats = pipeline::run_campaign(
+      pipeline::make_case_runner_factory(case_name, {}), options);
   std::printf("case %s: %s\n", case_name.c_str(),
               pipeline::summarize(stats).c_str());
 
@@ -108,8 +114,11 @@ int run_durable(const util::Cli& cli, pipeline::CampaignOptions options,
 struct CaseTiming {
   std::string name;
   std::size_t runs = 0;
-  double serial_seconds = 0.0;
-  double parallel_seconds = 0.0;
+  std::size_t reps = 0;
+  double serial_seconds = 0.0;    ///< median over reps
+  double parallel_seconds = 0.0;  ///< median over reps
+  pipeline::PhaseTotals serial_phases;    ///< summed over timed reps
+  pipeline::PhaseTotals parallel_phases;  ///< summed over timed reps
   bool identical = false;
 
   double speedup() const {
@@ -117,33 +126,61 @@ struct CaseTiming {
   }
 };
 
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-/// Run the campaign serially and with `jobs` workers; print the summary
-/// and record wall-clock for both.
+/// Warmup (untimed, pages code and pool workers in), then `reps` timed
+/// campaigns serial and parallel; medians land in the timing, every rep's
+/// stats must stay bit-identical to the first serial rep.
 CaseTiming run_both(const std::string& name, const char* printf_label,
-                    const pipeline::ScenarioRunner& runner,
-                    pipeline::CampaignOptions options, std::size_t jobs) {
+                    const std::string& case_name,
+                    pipeline::CampaignOptions options, std::size_t jobs,
+                    std::size_t reps, std::size_t warmup_runs) {
   CaseTiming timing;
   timing.name = name;
   timing.runs = options.runs;
+  timing.reps = reps;
 
-  options.threads = 1;
-  auto t0 = std::chrono::steady_clock::now();
-  pipeline::CampaignStats serial = pipeline::run_campaign(runner, options);
-  timing.serial_seconds = seconds_since(t0);
+  pipeline::PhaseShards serial_shards(1);
+  pipeline::PhaseShards parallel_shards(std::max<std::size_t>(jobs, 1));
+  pipeline::ScenarioRunnerFactory serial_factory =
+      pipeline::make_case_runner_factory(case_name, {}, &serial_shards);
+  pipeline::ScenarioRunnerFactory parallel_factory =
+      pipeline::make_case_runner_factory(case_name, {}, &parallel_shards);
 
-  options.threads = jobs;
-  t0 = std::chrono::steady_clock::now();
-  pipeline::CampaignStats parallel = pipeline::run_campaign(runner, options);
-  timing.parallel_seconds = seconds_since(t0);
+  if (warmup_runs > 0) {
+    pipeline::CampaignOptions w = options;
+    w.runs = std::min(options.runs, warmup_runs);
+    w.threads = jobs;
+    pipeline::PhaseShards scratch(std::max<std::size_t>(jobs, 1));
+    (void)pipeline::run_campaign(
+        pipeline::make_case_runner_factory(case_name, {}, &scratch), w);
+  }
 
-  timing.identical = serial == parallel;
-  std::printf("%s %s\n", printf_label, pipeline::summarize(serial).c_str());
+  pipeline::CampaignStats first;
+  bool identical = true;
+  std::vector<double> serial_secs, parallel_secs;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    options.threads = 1;
+    auto t0 = std::chrono::steady_clock::now();
+    pipeline::CampaignStats serial =
+        pipeline::run_campaign(serial_factory, options);
+    serial_secs.push_back(seconds_since(t0));
+
+    options.threads = jobs;
+    t0 = std::chrono::steady_clock::now();
+    pipeline::CampaignStats parallel =
+        pipeline::run_campaign(parallel_factory, options);
+    parallel_secs.push_back(seconds_since(t0));
+
+    if (rep == 0) first = serial;
+    identical = identical && serial == first && parallel == first;
+  }
+
+  timing.serial_seconds = median(serial_secs);
+  timing.parallel_seconds = median(parallel_secs);
+  timing.serial_phases = serial_shards.merged();
+  timing.parallel_phases = parallel_shards.merged();
+  timing.identical = identical;
+  std::printf("%s %s\n", printf_label, pipeline::summarize(first).c_str());
+  print_phases("serial phases:", timing.serial_phases);
   if (!timing.identical)
     std::printf("  !! parallel (--jobs %zu) stats DIVERGED from serial\n",
                 jobs);
@@ -157,18 +194,26 @@ bool write_json(const std::string& path, std::size_t jobs,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return false;
   }
+  const std::size_t hw = util::ThreadPool::hardware_threads();
   double serial_total = 0.0, parallel_total = 0.0;
-  os << "{\n  \"jobs\": " << jobs << ",\n  \"cases\": [\n";
+  os << "{\n  \"jobs\": " << jobs << ",\n  \"hardware_threads\": " << hw
+     << ",\n  \"effective_jobs\": " << std::min(jobs, hw)
+     << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < timings.size(); ++i) {
     const CaseTiming& t = timings[i];
     serial_total += t.serial_seconds;
     parallel_total += t.parallel_seconds;
     os << "    {\"name\": \"" << t.name << "\", \"runs\": " << t.runs
+       << ", \"reps\": " << t.reps
        << ", \"serial_seconds\": " << t.serial_seconds
        << ", \"parallel_seconds\": " << t.parallel_seconds
        << ", \"speedup\": " << t.speedup()
-       << ", \"identical\": " << (t.identical ? "true" : "false") << "}"
-       << (i + 1 < timings.size() ? "," : "") << "\n";
+       << ", \"identical\": " << (t.identical ? "true" : "false")
+       << ",\n     \"serial_phases\": ";
+    json_phases(os, t.serial_phases);
+    os << ",\n     \"parallel_phases\": ";
+    json_phases(os, t.parallel_phases);
+    os << "}" << (i + 1 < timings.size() ? "," : "") << "\n";
   }
   double speedup =
       parallel_total > 0.0 ? serial_total / parallel_total : 0.0;
@@ -176,6 +221,182 @@ bool write_json(const std::string& path, std::size_t jobs,
      << ",\n  \"total_parallel_seconds\": " << parallel_total
      << ",\n  \"speedup\": " << speedup << "\n}\n";
   return true;
+}
+
+// ---- scale mode -----------------------------------------------------------
+
+/// One timed configuration (runner config × campaign options). Reps are
+/// driven round-robin across all legs by the caller, so slow machine
+/// drift (page cache, allocator arena growth, frequency scaling) lands
+/// evenly on every leg instead of favoring whichever leg runs last —
+/// back-to-back leg blocks were measurably biased by leg order.
+struct ScaleLeg {
+  pipeline::CaseRunnerConfig config;
+  pipeline::CampaignOptions options;
+  pipeline::PhaseShards shards;
+  std::vector<double> secs;
+  pipeline::CampaignStats stats;
+  obs::Snapshot snapshot;
+  double seconds = 0.0;  ///< median over reps
+
+  ScaleLeg(const pipeline::CaseRunnerConfig& config,
+           const pipeline::CampaignOptions& options)
+      : config(config),
+        options(options),
+        shards(std::max<std::size_t>(options.threads, 1)) {}
+};
+
+/// One timed campaign of `leg`; stats from the last rep (all reps are
+/// bit-identical or the campaign itself is broken — checked by the caller
+/// against the serial leg). The obs registry is reset around each rep so
+/// the final snapshot covers exactly one campaign.
+void run_scale_rep(const std::string& case_name, ScaleLeg& leg) {
+  obs::Registry::global().reset();
+  pipeline::ScenarioRunnerFactory factory =
+      pipeline::make_case_runner_factory(case_name, leg.config, &leg.shards);
+  auto t0 = std::chrono::steady_clock::now();
+  leg.stats = pipeline::run_campaign(factory, leg.options);
+  leg.secs.push_back(seconds_since(t0));
+  leg.snapshot = obs::Registry::global().snapshot();
+}
+
+int run_scale(const util::Cli& cli, pipeline::CampaignOptions options,
+              std::size_t jobs) {
+  const std::string case_name =
+      cli.get("case") == "all" ? std::string("II") : cli.get("case");
+  options.runs = static_cast<std::size_t>(cli.get_int("scale"));
+  options.seed_batch = static_cast<std::size_t>(cli.get_int("batch"));
+  const std::size_t reps = static_cast<std::size_t>(cli.get_int("reps"));
+  const double intensity = cli.get_double("faults");
+  const double min_efficiency = cli.get_double("min-efficiency");
+
+  pipeline::CaseRunnerConfig pooled;
+  pooled.intensity = intensity;
+  pooled.event_budget =
+      static_cast<std::uint64_t>(cli.get_int("cycle-budget"));
+  pooled.trace_round_trip = intensity > 0.0;
+  pipeline::CaseRunnerConfig fresh = pooled;
+  fresh.pooled = false;
+
+  bench::section("Extension E2 (scale): amortized chaos campaign");
+  const std::size_t hw = util::ThreadPool::hardware_threads();
+  const std::size_t effective = std::min(jobs, hw);
+  std::printf("case %s, %zu runs, intensity %g, --jobs %zu "
+              "(%zu hardware threads -> %zu effective), %zu rep(s)\n\n",
+              case_name.c_str(), options.runs, intensity, jobs, hw,
+              effective, reps);
+
+  // Warmup: one small pooled campaign pages in code and pool workers.
+  {
+    pipeline::CampaignOptions w = options;
+    w.runs = std::min<std::size_t>(options.runs, 8);
+    w.threads = jobs;
+    pipeline::PhaseShards scratch(std::max<std::size_t>(jobs, 1));
+    (void)pipeline::run_campaign(
+        pipeline::make_case_runner_factory(case_name, pooled, &scratch), w);
+  }
+
+  pipeline::CampaignOptions serial_opts = options;
+  serial_opts.threads = 1;
+  pipeline::CampaignOptions parallel_opts = options;
+  parallel_opts.threads = jobs;
+
+  ScaleLeg serial(pooled, serial_opts);
+  ScaleLeg parallel(pooled, parallel_opts);
+  ScaleLeg fresh_leg(fresh, parallel_opts);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    run_scale_rep(case_name, serial);
+    run_scale_rep(case_name, parallel);
+    run_scale_rep(case_name, fresh_leg);
+  }
+  for (ScaleLeg* leg : {&serial, &parallel, &fresh_leg})
+    leg->seconds = median(leg->secs);
+
+  std::printf("serial (pooled):    %.2fs  %s\n", serial.seconds,
+              pipeline::summarize(serial.stats).c_str());
+  print_phases("phases:", serial.shards.merged());
+  std::printf("--jobs %zu (pooled):  %.2fs\n", jobs, parallel.seconds);
+  print_phases("phases:", parallel.shards.merged());
+  std::printf("--jobs %zu (fresh):   %.2fs (per-run construction, "
+              "pre-pool path)\n",
+              jobs, fresh_leg.seconds);
+
+  const bool stats_identical = serial.stats == parallel.stats &&
+                               serial.stats == fresh_leg.stats;
+  const bool obs_identical =
+      serial.snapshot.deterministic_equal(parallel.snapshot) &&
+      serial.snapshot.deterministic_equal(fresh_leg.snapshot);
+  const double speedup = parallel.seconds > 0.0
+                             ? serial.seconds / parallel.seconds
+                             : 0.0;
+  const double efficiency =
+      effective > 0 ? speedup / static_cast<double>(effective) : 0.0;
+  const double pool_gain = parallel.seconds > 0.0
+                               ? fresh_leg.seconds / parallel.seconds
+                               : 0.0;
+
+  std::printf("\nstats bit-identical (serial == parallel == fresh): %s\n",
+              stats_identical ? "yes" : "NO");
+  std::printf("obs snapshots bit-identical:                       %s\n",
+              obs_identical ? "yes" : "NO");
+  std::printf("speedup %.2fx over serial at --jobs %zu; efficiency %.2f "
+              "of %zu effective core(s); pooled %.2fx vs fresh\n",
+              speedup, jobs, efficiency, effective, pool_gain);
+
+  // cmp(1)-able stats for the tier-1 scaling gate.
+  const std::string stats_out = cli.get("stats-out");
+  if (!stats_out.empty()) {
+    for (const auto& [suffix, leg] :
+         {std::pair<const char*, const ScaleLeg*>{"serial", &serial},
+          {"parallel", &parallel}}) {
+      std::string path = stats_out + "." + suffix + ".json";
+      std::ofstream os(path);
+      if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      os << pipeline::stats_json(leg->stats);
+    }
+    std::printf("stats written to %s.{serial,parallel}.json\n",
+                stats_out.c_str());
+  }
+
+  std::ofstream os(cli.get("json"));
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", cli.get("json").c_str());
+    return 1;
+  }
+  os << "{\n  \"mode\": \"scale\",\n  \"case\": \"" << case_name
+     << "\",\n  \"runs\": " << options.runs << ",\n  \"reps\": " << reps
+     << ",\n  \"intensity\": " << intensity << ",\n  \"jobs\": " << jobs
+     << ",\n  \"hardware_threads\": " << hw
+     << ",\n  \"effective_jobs\": " << effective
+     << ",\n  \"serial_seconds\": " << serial.seconds
+     << ",\n  \"parallel_seconds\": " << parallel.seconds
+     << ",\n  \"fresh_parallel_seconds\": " << fresh_leg.seconds
+     << ",\n  \"speedup\": " << speedup
+     << ",\n  \"efficiency\": " << efficiency
+     << ",\n  \"pooled_vs_fresh\": " << pool_gain
+     << ",\n  \"stats_identical\": "
+     << (stats_identical ? "true" : "false")
+     << ",\n  \"obs_identical\": " << (obs_identical ? "true" : "false")
+     << ",\n  \"serial_phases\": ";
+  json_phases(os, serial.shards.merged());
+  os << ",\n  \"parallel_phases\": ";
+  json_phases(os, parallel.shards.merged());
+  os << ",\n  \"triggered\": " << serial.stats.triggered
+     << ",\n  \"failed\": " << serial.stats.failed
+     << ",\n  \"timed_out\": " << serial.stats.timed_out << "\n}\n";
+  std::printf("timing written to %s\n", cli.get("json").c_str());
+
+  if (!stats_identical || !obs_identical) return 1;
+  if (min_efficiency > 0.0 && efficiency < min_efficiency) {
+    std::fprintf(stderr,
+                 "FAIL: efficiency %.2f below --min-efficiency %.2f\n",
+                 efficiency, min_efficiency);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -186,12 +407,33 @@ int main(int argc, char** argv) {
   cli.add_flag("top-k", "detection cut-off", "5");
   cli.add_flag("first-seed", "first seed", "1");
   bench::add_jobs_flag(cli, "campaign worker threads");
+  cli.add_flag("reps", "timed repetitions per leg (median reported)", "3");
+  cli.add_flag("warmup", "untimed warmup seeds before timing, 0 = none",
+               "4");
+  cli.add_flag("batch",
+               "seeds claimed per pool task (0 = auto, DESIGN.md §15)", "0");
+  cli.add_flag("scale",
+               "scale mode: run ONE chaos campaign of this many seeds "
+               "through serial/parallel/fresh legs (0 = off)", "0");
+  cli.add_flag("faults", "scale mode: fault intensity", "0.5");
+  cli.add_flag("cycle-budget",
+               "scale mode: watchdog event budget per run, 0 = unlimited",
+               "50000000");
+  cli.add_flag("min-efficiency",
+               "scale mode: fail below this speedup / effective-cores "
+               "ratio (0 = report only)", "0");
+  cli.add_flag("stats-out",
+               "scale mode: write cmp-able stats_json to "
+               "PREFIX.{serial,parallel}.json", "");
   cli.add_flag("json", "timing output file", "BENCH_campaign.json");
   cli.add_flag("journal", "durable mode: run journal path (DESIGN.md §13)",
                "");
   cli.add_switch("resume", "durable mode: skip seeds already journaled");
   cli.add_flag("retries", "durable mode: bounded retries per failed seed",
                "0");
+  cli.add_flag("journal-flush",
+               "durable mode: per-worker journal append buffer size "
+               "(1 = append-through)", "1");
   cli.add_flag("kill-after",
                "durable mode: SIGKILL self after N journal appends "
                "(crash-resume smoke)", "0");
@@ -209,29 +451,36 @@ int main(int argc, char** argv) {
   options.runs = static_cast<std::size_t>(cli.get_int("runs"));
   options.k = static_cast<std::size_t>(cli.get_int("top-k"));
   options.first_seed = static_cast<std::uint64_t>(cli.get_int("first-seed"));
+  options.seed_batch = static_cast<std::size_t>(cli.get_int("batch"));
   std::size_t jobs = bench::parse_jobs(cli);
 
   if (!cli.get("journal").empty()) return run_durable(cli, options, jobs);
+  if (cli.get_int("scale") > 0) return run_scale(cli, options, jobs);
+
+  const auto reps =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cli.get_int("reps")));
+  const auto warmup = static_cast<std::size_t>(cli.get_int("warmup"));
 
   bench::section("Extension E2: randomized campaigns (trigger vs detect)");
-  std::printf("jobs: %zu (serial baseline rerun for the speedup check)\n\n",
-              jobs);
+  std::printf("jobs: %zu, %zu timed rep(s) per leg (median), warmup %zu "
+              "seeds\n\n",
+              jobs, reps, warmup);
   std::vector<CaseTiming> timings;
   const bool all = case_name == "all";
 
   if (all || case_name == "I")
     timings.push_back(run_both("case I (D=20ms, 10s)",
-                               "case I  (D=20ms, 10s): ", run_case1_seeded,
-                               options, jobs));
+                               "case I  (D=20ms, 10s): ", "I", options, jobs,
+                               reps, warmup));
 
   if (all || case_name == "II")
     timings.push_back(run_both("case II (20s)", "case II (20s):         ",
-                               run_case2_seeded, options, jobs));
+                               "II", options, jobs, reps, warmup));
 
   if (all || case_name == "III")
     timings.push_back(run_both("case III (9 nodes, 15s)",
-                               "case III (9 nodes, 15s):", run_case3_seeded,
-                               options, jobs));
+                               "case III (9 nodes, 15s):", "III", options,
+                               jobs, reps, warmup));
 
   double serial_total = 0.0, parallel_total = 0.0;
   bool all_identical = true;
@@ -241,8 +490,8 @@ int main(int argc, char** argv) {
     all_identical = all_identical && t.identical;
   }
   std::printf(
-      "\nwall-clock: serial %.2fs, --jobs %zu %.2fs (speedup %.2fx); "
-      "stats %s\n",
+      "\nwall-clock medians: serial %.2fs, --jobs %zu %.2fs (speedup "
+      "%.2fx); stats %s\n",
       serial_total, jobs, parallel_total,
       parallel_total > 0.0 ? serial_total / parallel_total : 0.0,
       all_identical ? "identical" : "DIVERGED");

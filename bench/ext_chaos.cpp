@@ -22,16 +22,13 @@
 // Detection-rate / first-rank degradation curves land in BENCH_chaos.json.
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "apps/scenarios.hpp"
 #include "bench_util.hpp"
-#include "fault/injector.hpp"
 #include "obs_flags.hpp"
 #include "pipeline/campaign.hpp"
-#include "trace/serialize.hpp"
+#include "pipeline/worker_pool.hpp"
 #include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
@@ -39,90 +36,27 @@ using namespace sent;
 
 namespace {
 
-/// Trace I/O layer: save / perturb / salvage round-trip. The perturbation
-/// randomness comes from the run seed, not the campaign, so it is as
-/// reproducible as the run itself.
-trace::NodeTrace round_trip(const trace::NodeTrace& t,
-                            const fault::FaultPlan& faults, util::Rng rng) {
-  std::ostringstream saved;
-  trace::save_trace(t, saved);
-  std::string text =
-      fault::FaultInjector::perturb_trace_text(saved.str(), faults, rng);
-  std::istringstream in(text);
-  return trace::load_trace_lenient(in).trace;
-}
+// The per-seed ladder (scenario faults + trace save -> perturb -> salvage
+// round-trip + analysis fallbacks) lives in the pooled case-runner
+// factories (pipeline/worker_pool, DESIGN.md §15): each campaign worker
+// amortizes its world/trace allocations across seeds, bit-identically to
+// the historic fresh-construction runners.
 
-/// One seeded run of the chosen case through the full fault ladder.
-pipeline::AnalysisReport run_chaos(const std::string& case_name,
-                                   std::uint64_t seed, double intensity,
-                                   std::uint64_t event_budget) {
-  const fault::FaultPlan faults = fault::FaultPlan::at_intensity(intensity);
-  if (case_name == "I") {
-    apps::Case1Config config;
-    config.seed = seed;
-    config.sample_periods_ms = {20};  // the vulnerable rate
-    config.run_seconds = 10.0;
-    config.faults = faults;
-    config.event_budget = event_budget;
-    apps::Case1Result r = apps::run_case1(config);
-    trace::NodeTrace t =
-        round_trip(r.runs[0].sensor_trace, faults,
-                   util::Rng(seed).substream("trace-faults"));
-    return pipeline::analyze({{&t, 0}}, os::irq::kAdc);
-  }
-  if (case_name == "III") {
-    apps::Case3Config config;
-    config.seed = seed;
-    config.faults = faults;
-    config.event_budget = event_budget;
-    apps::Case3Result r = apps::run_case3(config);
-    // Per-node substreams: each source trace takes its own perturbation
-    // draw, so the storm is independent of how many sources exist.
-    std::vector<trace::NodeTrace> salvaged;
-    salvaged.reserve(r.sources.size());
-    for (net::NodeId src : r.sources)
-      salvaged.push_back(round_trip(
-          r.traces[src], faults,
-          util::Rng(seed).substream("trace-faults-" +
-                                    std::to_string(src))));
-    std::vector<pipeline::TaggedTrace> traces;
-    for (trace::NodeTrace& t : salvaged) traces.push_back({&t, 0});
-    return pipeline::analyze(traces, r.report_line);
-  }
-  apps::Case2Config config;
-  config.seed = seed;
-  config.faults = faults;
+/// Chaos-ladder factory at `intensity` (trace round-trip included).
+pipeline::ScenarioRunnerFactory chaos_factory(const std::string& case_name,
+                                              double intensity,
+                                              std::uint64_t event_budget) {
+  pipeline::CaseRunnerConfig config;
+  config.intensity = intensity;
   config.event_budget = event_budget;
-  apps::Case2Result r = apps::run_case2(config);
-  trace::NodeTrace t = round_trip(r.relay_trace, faults,
-                                  util::Rng(seed).substream("trace-faults"));
-  return pipeline::analyze({{&t, 0}}, os::irq::kRadioSpi);
+  config.trace_round_trip = true;
+  return pipeline::make_case_runner_factory(case_name, config);
 }
 
 /// The unmodified scenario, no fault machinery wired at all (the
 /// intensity-0 baseline).
-pipeline::AnalysisReport run_clean(const std::string& case_name,
-                                   std::uint64_t seed) {
-  if (case_name == "I") {
-    apps::Case1Config config;
-    config.seed = seed;
-    config.sample_periods_ms = {20};
-    config.run_seconds = 10.0;
-    apps::Case1Result r = apps::run_case1(config);
-    return pipeline::analyze({{&r.runs[0].sensor_trace, 0}}, os::irq::kAdc);
-  }
-  if (case_name == "III") {
-    apps::Case3Config config;
-    config.seed = seed;
-    apps::Case3Result r = apps::run_case3(config);
-    std::vector<pipeline::TaggedTrace> traces;
-    for (net::NodeId src : r.sources) traces.push_back({&r.traces[src], 0});
-    return pipeline::analyze(traces, r.report_line);
-  }
-  apps::Case2Config config;
-  config.seed = seed;
-  apps::Case2Result r = apps::run_case2(config);
-  return pipeline::analyze({{&r.relay_trace, 0}}, os::irq::kRadioSpi);
+pipeline::ScenarioRunnerFactory clean_factory(const std::string& case_name) {
+  return pipeline::make_case_runner_factory(case_name, {});
 }
 
 struct GridRow {
@@ -215,10 +149,7 @@ int main(int argc, char** argv) {
                 options.journal_path.c_str(),
                 options.resume ? " (resume)" : "");
     pipeline::CampaignStats stats = pipeline::run_campaign(
-        [&case_name, intensity, event_budget](std::uint64_t seed) {
-          return run_chaos(case_name, seed, intensity, event_budget);
-        },
-        options);
+        chaos_factory(case_name, intensity, event_budget), options);
     std::printf("%s\n", pipeline::summarize(stats).c_str());
     std::ofstream os(cli.get("json"));
     if (!os) {
@@ -244,11 +175,7 @@ int main(int argc, char** argv) {
   {
     pipeline::CampaignOptions opts = options;
     opts.threads = jobs;
-    baseline = pipeline::run_campaign(
-        [&case_name](std::uint64_t seed) {
-          return run_clean(case_name, seed);
-        },
-        opts);
+    baseline = pipeline::run_campaign(clean_factory(case_name), opts);
     std::printf("baseline (no fault harness):  %s\n",
                 pipeline::summarize(baseline).c_str());
   }
@@ -263,19 +190,18 @@ int main(int argc, char** argv) {
   bool clean_matches_baseline = false;
 
   for (double intensity : grid) {
-    auto runner = [&case_name, intensity, event_budget](std::uint64_t seed) {
-      return run_chaos(case_name, seed, intensity, event_budget);
-    };
+    pipeline::ScenarioRunnerFactory factory =
+        chaos_factory(case_name, intensity, event_budget);
 
     pipeline::CampaignOptions serial_opts = options;
     serial_opts.threads = 1;
     pipeline::CampaignStats serial =
-        pipeline::run_campaign(runner, serial_opts);
+        pipeline::run_campaign(factory, serial_opts);
 
     pipeline::CampaignOptions parallel_opts = options;
     parallel_opts.threads = jobs;
     pipeline::CampaignStats parallel =
-        pipeline::run_campaign(runner, parallel_opts);
+        pipeline::run_campaign(factory, parallel_opts);
 
     GridRow row;
     row.intensity = intensity;

@@ -28,10 +28,15 @@ ctest --test-dir build-refdispatch --output-on-failure -j "${JOBS}"
 # merge-determinism tests hammer one registry from many threads.
 cmake -B build-tsan -S . -DSENT_SANITIZE=thread
 cmake --build build-tsan -j "${JOBS}" \
-  --target thread_pool_test campaign_test obs_test stream_test \
-  stream_parity_test
+  --target thread_pool_test campaign_test worker_pool_test obs_test \
+  stream_test stream_parity_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/campaign_test
+# The amortized campaign engine (DESIGN.md §15): worker-local arenas,
+# chunked seed claiming and the per-worker journal buffers are the newest
+# concurrency surface; the pooled-vs-fresh parity battery runs under TSan
+# so a race in the reset path cannot hide behind determinism.
+./build-tsan/tests/worker_pool_test
 ./build-tsan/tests/obs_test
 # The streaming ingest layer shares the pool/obs-shard surface; its chaos
 # determinism test replays the same hostile storm at --jobs 1 and 4, so
@@ -47,12 +52,17 @@ cmake --build build-tsan -j "${JOBS}" \
 # pool workers).
 cmake -B build-asan -S . -DSENT_SANITIZE=address,undefined
 cmake --build build-asan -j "${JOBS}" \
-  --target fault_test serialize_test campaign_test journal_test cli_test \
+  --target fault_test serialize_test campaign_test worker_pool_test \
+  journal_test cli_test \
   obs_test interval_property_test golden_fig5_test sim_test bytecode_test \
   dispatch_parity_test stream_test stream_parity_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/serialize_test
 ./build-asan/tests/campaign_test
+# World reset + buffer recycling under ASan/UBSan: reused slots, recycled
+# trace buffers and reset-after-watchdog-unwind are exactly where
+# lifetime bugs would hide (DESIGN.md §15).
+./build-asan/tests/worker_pool_test
 # journal_test joins the ASan pass for the durability layer (DESIGN.md
 # §13): the journal-recovery byte-mutation fuzz battery, torn/failed
 # commit chaos, and the fork+SIGKILL crash-resume test all run sanitized.
@@ -108,6 +118,20 @@ assert snap["counters"].get("campaign.runs", 0) > 0, "no campaign runs recorded"
 EOF
 cmp build/metrics_j1.json build/metrics_j2.json
 
+# Scaling regression gate (DESIGN.md §15.5): a reduced chaos campaign
+# through the amortized engine, serial vs --jobs 2, pooled vs fresh.
+# ext_campaign --scale exits nonzero on any stats or obs-snapshot
+# divergence between the three legs, or when parallel efficiency
+# (speedup / min(jobs, hardware cores)) drops below the floor — 0.55
+# tolerates single-core containers and scheduler noise while still
+# catching a reintroduced hot-path lock, which lands far below it.
+./build/bench/ext_campaign --scale 200 --jobs 2 --reps 2 --warmup 8 \
+  --min-efficiency 0.55 --stats-out build/scale_stats \
+  --json build/BENCH_scale_smoke.json
+# The deterministic stats JSON must be byte-identical across schedules.
+cmp build/scale_stats.serial.json build/scale_stats.parallel.json
+rm -f build/scale_stats.serial.json build/scale_stats.parallel.json
+
 # Crash-resume smoke (DESIGN.md §13): run a journaled campaign that
 # SIGKILLs itself mid-flight (--kill-after), resume it, and require the
 # resumed stats JSON to be byte-identical to an uninterrupted run's — at a
@@ -153,4 +177,4 @@ test -s build/BENCH_ml.json
   --json build/BENCH_sim_smoke.json
 test -s build/BENCH_sim_smoke.json
 
-echo "tier-1 OK (incl. reference-dispatch suite + TSan concurrency/obs/stream + ASan/UBSan fault-surface/property/golden/dispatch-parity/stream + chaos + fleet soak + obs + ML parity + vMIPS gate)"
+echo "tier-1 OK (incl. reference-dispatch suite + TSan concurrency/obs/stream/worker-pool + ASan/UBSan fault-surface/property/golden/dispatch-parity/stream/worker-pool + chaos + fleet soak + obs + scaling gate + ML parity + vMIPS gate)"

@@ -1,6 +1,7 @@
 #include "apps/scenarios.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <optional>
@@ -13,6 +14,27 @@
 namespace sent::apps {
 
 namespace {
+
+using PhaseClock = std::chrono::steady_clock;
+
+double seconds_since(PhaseClock::time_point t0) {
+  return std::chrono::duration<double>(PhaseClock::now() - t0).count();
+}
+
+/// The run's event queue: the arena's pooled one (scrubbed by checkout)
+/// when amortizing, a fresh local otherwise. Either way the world starts
+/// from the same logical blank state.
+sim::EventQueue& select_queue(WorldArena* arena,
+                              std::optional<sim::EventQueue>& local) {
+  if (arena) return arena->checkout_queue();
+  return local.emplace();
+}
+
+/// Recycled trace capacity for a node about to be built (empty without an
+/// arena — identical recording behaviour either way).
+trace::NodeTrace buffer(WorldArena* arena) {
+  return arena ? arena->take_buffer() : trace::NodeTrace{};
+}
 
 /// Build the run's injector when the plan has runtime faults; a clean plan
 /// yields nullopt and the run proceeds exactly as before fault injection
@@ -46,7 +68,7 @@ std::uint64_t Case1Result::total_pollutions() const {
   return n;
 }
 
-Case1Result run_case1(const Case1Config& config) {
+Case1Result run_case1(const Case1Config& config, WorldArena* arena) {
   SENT_REQUIRE(!config.sample_periods_ms.empty());
   SENT_REQUIRE(config.run_seconds > 0);
   Case1Result result;
@@ -56,18 +78,20 @@ Case1Result run_case1(const Case1Config& config) {
     double d_ms = config.sample_periods_ms[r];
     util::Rng run_rng = master.substream("case1-run" + std::to_string(r));
 
-    sim::EventQueue queue;
+    const PhaseClock::time_point t0 = PhaseClock::now();
+    std::optional<sim::EventQueue> local_queue;
+    sim::EventQueue& queue = select_queue(arena, local_queue);
     if (config.event_budget) queue.set_watchdog_budget(config.event_budget);
     net::Channel channel(queue, run_rng.substream("channel"));
     auto injector =
         make_injector(queue, config.faults, run_rng, config.run_seconds);
 
-    os::Node sink_node(0, queue);
+    os::Node sink_node(0, queue, buffer(arena));
     hw::RadioChip sink_chip(queue, sink_node.machine(), channel, 0,
                             run_rng.substream("sink-chip"), config.radio);
     SinkApp sink(sink_node, sink_chip);
 
-    os::Node sensor_node(1, queue);
+    os::Node sensor_node(1, queue, buffer(arena));
     hw::RadioChip sensor_chip(queue, sensor_node.machine(), channel, 1,
                               run_rng.substream("sensor-chip"),
                               config.radio);
@@ -89,8 +113,11 @@ Case1Result run_case1(const Case1Config& config) {
     app.start();
     attach_node_faults(injector, sink_node, sink_chip);
     attach_node_faults(injector, sensor_node, sensor_chip);
+    const PhaseClock::time_point t1 = PhaseClock::now();
+    result.setup_seconds += std::chrono::duration<double>(t1 - t0).count();
 
     queue.run_until(sim::cycles_from_seconds(config.run_seconds));
+    result.simulate_seconds += seconds_since(t1);
     result.events_executed += queue.executed();
 
     Case1Run run;
@@ -102,18 +129,23 @@ Case1Result run_case1(const Case1Config& config) {
     run.heavy_tasks = app.heavy_tasks();
     run.sink_received = sink.received(proto::am::kOscilloscope);
     result.runs.push_back(std::move(run));
+    // The sink's trace is never consumed; bank its capacity for the next
+    // sub-run / seed.
+    if (arena) arena->recycle(sink_node.take_trace());
   }
   return result;
 }
 
 // ------------------------------------------------------------- case II
 
-Case2Result run_case2(const Case2Config& config) {
+Case2Result run_case2(const Case2Config& config, WorldArena* arena) {
   SENT_REQUIRE(config.run_seconds > 0);
   util::Rng master(config.seed);
   util::Rng rng = master.substream("case2");
 
-  sim::EventQueue queue;
+  const PhaseClock::time_point t0 = PhaseClock::now();
+  std::optional<sim::EventQueue> local_queue;
+  sim::EventQueue& queue = select_queue(arena, local_queue);
   if (config.event_budget) queue.set_watchdog_budget(config.event_budget);
   net::Channel channel(queue, rng.substream("channel"));
   auto injector =
@@ -124,12 +156,12 @@ Case2Result run_case2(const Case2Config& config) {
     channel.set_loss_rate(config.loss_rate);
   }
 
-  os::Node sink_node(0, queue);
+  os::Node sink_node(0, queue, buffer(arena));
   hw::RadioChip sink_chip(queue, sink_node.machine(), channel, 0,
                           rng.substream("chip0"), config.radio);
   SinkApp sink(sink_node, sink_chip);
 
-  os::Node relay_node(1, queue);
+  os::Node relay_node(1, queue, buffer(arena));
   hw::RadioChip relay_chip(queue, relay_node.machine(), channel, 1,
                            rng.substream("chip1"), config.radio);
   RelayConfig relay_config;
@@ -137,7 +169,7 @@ Case2Result run_case2(const Case2Config& config) {
   relay_config.fixed = config.fixed;
   RelayApp relay(relay_node, relay_chip, relay_config);
 
-  os::Node source_node(2, queue);
+  os::Node source_node(2, queue, buffer(arena));
   hw::RadioChip source_chip(queue, source_node.machine(), channel, 2,
                             rng.substream("chip2"), config.source_radio);
   RandomSourceConfig src_config;
@@ -159,9 +191,12 @@ Case2Result run_case2(const Case2Config& config) {
   attach_node_faults(injector, sink_node, sink_chip);
   attach_node_faults(injector, relay_node, relay_chip);
   attach_node_faults(injector, source_node, source_chip);
+  const PhaseClock::time_point t1 = PhaseClock::now();
   queue.run_until(sim::cycles_from_seconds(config.run_seconds));
 
   Case2Result result;
+  result.setup_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.simulate_seconds = seconds_since(t1);
   result.events_executed = queue.executed();
   result.relay_tx_airtime = relay_chip.tx_airtime();
   result.relay_trace = relay_node.take_trace();
@@ -170,6 +205,11 @@ Case2Result run_case2(const Case2Config& config) {
   result.relay_forwarded = relay.forwarded();
   result.relay_dropped_busy = relay.dropped_busy();
   result.sink_received = sink.received(proto::am::kForward);
+  // Only the relay trace leaves with the result; bank the other two.
+  if (arena) {
+    arena->recycle(sink_node.take_trace());
+    arena->recycle(source_node.take_trace());
+  }
   return result;
 }
 
@@ -181,7 +221,7 @@ std::size_t Case3Result::hung_nodes() const {
   return n;
 }
 
-Case3Result run_case3(const Case3Config& config) {
+Case3Result run_case3(const Case3Config& config, WorldArena* arena) {
   SENT_REQUIRE(config.run_seconds > 0);
   const std::size_t n = config.rows * config.cols;
   SENT_REQUIRE(n >= 2);
@@ -189,7 +229,9 @@ Case3Result run_case3(const Case3Config& config) {
   util::Rng master(config.seed);
   util::Rng rng = master.substream("case3");
 
-  sim::EventQueue queue;
+  const PhaseClock::time_point t0 = PhaseClock::now();
+  std::optional<sim::EventQueue> local_queue;
+  sim::EventQueue& queue = select_queue(arena, local_queue);
   if (config.event_budget) queue.set_watchdog_budget(config.event_budget);
   net::Channel channel(queue, rng.substream("channel"));
   auto injector =
@@ -214,7 +256,7 @@ Case3Result run_case3(const Case3Config& config) {
   std::vector<std::unique_ptr<CtpHeartbeatApp>> ctp_apps;
   for (std::size_t i = 0; i < n; ++i) {
     auto id = static_cast<net::NodeId>(i);
-    nodes.push_back(std::make_unique<os::Node>(id, queue));
+    nodes.push_back(std::make_unique<os::Node>(id, queue, buffer(arena)));
     chips.push_back(std::make_unique<hw::RadioChip>(
         queue, nodes[i]->machine(), channel, id,
         rng.substream("chip" + std::to_string(i)), config.radio));
@@ -231,9 +273,12 @@ Case3Result run_case3(const Case3Config& config) {
   for (std::size_t i = 0; i < n; ++i)
     attach_node_faults(injector, *nodes[i], *chips[i]);
 
+  const PhaseClock::time_point t1 = PhaseClock::now();
   queue.run_until(sim::cycles_from_seconds(config.run_seconds));
 
   Case3Result result;
+  result.setup_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.simulate_seconds = seconds_since(t1);
   result.events_executed = queue.executed();
   result.sources = sources;
   result.report_line = ctp_apps[0]->report_line();
@@ -267,14 +312,16 @@ std::uint64_t Case4Result::total_torn() const {
   return n;
 }
 
-Case4Result run_case4(const Case4Config& config) {
+Case4Result run_case4(const Case4Config& config, WorldArena* arena) {
   SENT_REQUIRE(config.run_seconds > 0);
   const std::size_t n = config.rows * config.cols;
   SENT_REQUIRE(n >= 2);
   util::Rng master(config.seed);
   util::Rng rng = master.substream("case4");
 
-  sim::EventQueue queue;
+  const PhaseClock::time_point t0 = PhaseClock::now();
+  std::optional<sim::EventQueue> local_queue;
+  sim::EventQueue& queue = select_queue(arena, local_queue);
   if (config.event_budget) queue.set_watchdog_budget(config.event_budget);
   net::Channel channel(queue, rng.substream("channel"));
   auto injector =
@@ -285,7 +332,7 @@ Case4Result run_case4(const Case4Config& config) {
   std::vector<std::unique_ptr<DisseminationApp>> diss_apps;
   for (std::size_t i = 0; i < n; ++i) {
     auto id = static_cast<net::NodeId>(i);
-    nodes.push_back(std::make_unique<os::Node>(id, queue));
+    nodes.push_back(std::make_unique<os::Node>(id, queue, buffer(arena)));
     chips.push_back(std::make_unique<hw::RadioChip>(
         queue, nodes[i]->machine(), channel, id,
         rng.substream("chip" + std::to_string(i)), config.radio));
@@ -338,9 +385,12 @@ Case4Result run_case4(const Case4Config& config) {
   };
   queue.schedule_at(sim::kCyclesPerSecond / 2, probe);
 
+  const PhaseClock::time_point t1 = PhaseClock::now();
   queue.run_until(sim::cycles_from_seconds(config.run_seconds));
 
   Case4Result result;
+  result.setup_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.simulate_seconds = seconds_since(t1);
   result.events_executed = queue.executed();
   result.corruption_node_seconds = corruption_node_seconds;
   result.trickle_line = diss_apps[0]->trickle_line();

@@ -15,11 +15,20 @@
 #include "apps/dissemination.hpp"
 #include "apps/forwarding.hpp"
 #include "apps/oscilloscope.hpp"
+#include "apps/world_arena.hpp"
 #include "fault/plan.hpp"
 #include "hw/radio_params.hpp"
 #include "trace/recorder.hpp"
 
 namespace sent::apps {
+
+// Every run_caseN accepts an optional WorldArena (worker-local amortized
+// state, DESIGN.md §15). With an arena the run borrows the pooled event
+// queue (reset first) and recycled trace buffers instead of allocating
+// fresh ones, and banks its trace capacity back when the caller recycles
+// the result; without one (the default) behaviour is exactly the historic
+// fresh-construction path. The two paths are bit-identical — the parity
+// battery in tests/worker_pool_test.cpp holds them to it.
 
 // Every case config carries the same two robustness knobs (DESIGN.md §9):
 //
@@ -63,10 +72,15 @@ struct Case1Run {
 struct Case1Result {
   std::vector<Case1Run> runs;
   std::uint64_t events_executed = 0;  ///< summed over all sample periods
+  /// Wall-clock phase split (world construction vs event-loop drain),
+  /// summed over sample periods. Diagnostic only — never part of any
+  /// determinism comparison.
+  double setup_seconds = 0.0;
+  double simulate_seconds = 0.0;
   std::uint64_t total_pollutions() const;
 };
 
-Case1Result run_case1(const Case1Config& config);
+Case1Result run_case1(const Case1Config& config, WorldArena* arena = nullptr);
 
 // ------------------------------------------------------------- case II
 
@@ -119,9 +133,11 @@ struct Case2Result {
   std::uint64_t sink_received = 0;
   std::uint64_t events_executed = 0;
   sim::Cycle relay_tx_airtime = 0;  ///< for energy accounting
+  double setup_seconds = 0.0;     ///< wall clock; diagnostic only
+  double simulate_seconds = 0.0;  ///< wall clock; diagnostic only
 };
 
-Case2Result run_case2(const Case2Config& config);
+Case2Result run_case2(const Case2Config& config, WorldArena* arena = nullptr);
 
 // ------------------------------------------------------------- case III
 
@@ -157,10 +173,12 @@ struct Case3Result {
   std::vector<Case3NodeStats> stats;  ///< indexed by node id
   std::uint64_t delivered_to_root = 0;
   std::uint64_t events_executed = 0;
+  double setup_seconds = 0.0;     ///< wall clock; diagnostic only
+  double simulate_seconds = 0.0;  ///< wall clock; diagnostic only
   std::size_t hung_nodes() const;
 };
 
-Case3Result run_case3(const Case3Config& config);
+Case3Result run_case3(const Case3Config& config, WorldArena* arena = nullptr);
 
 // ------------------------------------------------------------- case IV
 // (extension: Trickle dissemination with the torn-update bug)
@@ -208,10 +226,12 @@ struct Case4Result {
   /// version sweeps through, so the exposure accumulates even though the
   /// end-of-run snapshot usually looks clean.
   double corruption_node_seconds = 0.0;
+  double setup_seconds = 0.0;     ///< wall clock; diagnostic only
+  double simulate_seconds = 0.0;  ///< wall clock; diagnostic only
   std::size_t corrupted_nodes() const;  ///< at end of run
   std::uint64_t total_torn() const;
 };
 
-Case4Result run_case4(const Case4Config& config);
+Case4Result run_case4(const Case4Config& config, WorldArena* arena = nullptr);
 
 }  // namespace sent::apps

@@ -20,10 +20,14 @@ namespace sent::os {
 
 class Node {
  public:
-  Node(std::uint32_t id, sim::EventQueue& queue)
+  /// `recycled` optionally donates trace-buffer capacity from a previous
+  /// run (worker-local world pools, DESIGN.md §15); recording behaviour is
+  /// identical with or without it.
+  Node(std::uint32_t id, sim::EventQueue& queue,
+       trace::NodeTrace recycled = trace::NodeTrace{})
       : id_(id),
         queue_(queue),
-        recorder_(id),
+        recorder_(id, std::move(recycled)),
         machine_(queue, recorder_, program_),
         kernel_(queue, recorder_, machine_, program_),
         timers_(queue, machine_) {}

@@ -1,5 +1,6 @@
 #include "pipeline/campaign.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -206,12 +207,26 @@ RunOutcome from_record(const JournalRecord& rec) {
 
 }  // namespace
 
-CampaignStats run_campaign(const ScenarioRunner& runner,
+namespace {
+
+/// Auto batch size: enough batches for dynamic claiming to rebalance
+/// (8 per worker), but never so large that one worker hoards the tail.
+std::size_t effective_seed_batch(const CampaignOptions& options) {
+  if (options.seed_batch != 0) return options.seed_batch;
+  const std::size_t workers = std::max<std::size_t>(options.threads, 1);
+  const std::size_t batch = options.runs / (8 * workers);
+  return std::clamp<std::size_t>(batch, 1, 64);
+}
+
+}  // namespace
+
+CampaignStats run_campaign(const ScenarioRunnerFactory& factory,
                            const CampaignOptions& options) {
-  SENT_REQUIRE(runner != nullptr);
+  SENT_REQUIRE(factory != nullptr);
   SENT_REQUIRE(options.runs >= 1);
   SENT_REQUIRE(options.k >= 1);
   SENT_REQUIRE(options.journal_commit_every >= 1);
+  SENT_REQUIRE(options.journal_flush_every >= 1);
   SENT_REQUIRE_MSG(!options.resume || !options.journal_path.empty(),
                    "resume requires a journal_path");
   SENT_REQUIRE_MSG(options.max_retries == 0 || options.retry_seed_offset > 0,
@@ -280,33 +295,62 @@ CampaignStats run_campaign(const ScenarioRunner& runner,
     }
   }
 
-  // Fan the seeds out; each slot is written by exactly one invocation.
-  // Journaled seeds short-circuit: their outcome is reconstructed, not
-  // re-run, which is what makes a resumed 10k campaign pick up where the
-  // crash left it.
+  // Fan the seeds out in contiguous batches; each outcome slot is written
+  // by exactly one invocation, so the hot loop carries no shared mutex
+  // (the journal, when enabled, is the one shared structure — and
+  // journal_flush_every batches its lock traffic). Journaled seeds
+  // short-circuit: their outcome is reconstructed, not re-run, which is
+  // what makes a resumed 10k campaign pick up where the crash left it.
   std::vector<RunOutcome> outcomes(options.runs);
   std::vector<double> wall_seconds(options.runs, 0.0);
   util::ThreadPool pool(options.threads);
-  pool.parallel_for(options.runs, [&](std::size_t i) {
-    const std::uint64_t seed = options.first_seed + i;
-    if (auto it = resumed.find(seed); it != resumed.end()) {
-      outcomes[i] = it->second;
-      return;
-    }
-    obs::Span run_span("campaign.run", "campaign", seed);
-    const std::uint64_t t0 = obs::Registry::now_ns();
-    RunOutcome out = run_with_retries(runner, seed, options, inj);
-    const std::uint64_t elapsed_ns = obs::Registry::now_ns() - t0;
-    Metrics::get().run_ns.record(elapsed_ns);
-    wall_seconds[i] = static_cast<double>(elapsed_ns) * 1e-9;
-    outcomes[i] = std::move(out);
-    if (journal) {
-      journal->append(to_record(seed, outcomes[i]));
-      // The kill hook fires AFTER the append so the journaled prefix is
-      // exactly what a resumed campaign will find.
-      if (inj) inj->maybe_kill(journal->appended());
-    }
-  });
+
+  // Per-worker amortized state (DESIGN.md §15). The runner is built
+  // lazily, on the worker's own thread, at its first non-resumed seed — a
+  // fully resumed campaign never invokes the factory at all.
+  struct WorkerState {
+    ScenarioRunner runner;
+    std::vector<JournalRecord> pending;  ///< journal append buffer
+  };
+  std::vector<WorkerState> workers(std::max<std::size_t>(pool.size(), 1));
+
+  const std::size_t flush_every = options.journal_flush_every;
+  auto flush_pending = [&](WorkerState& ws) {
+    if (!journal || ws.pending.empty()) return;
+    journal->append_batch(ws.pending);
+    // The kill hook fires AFTER the append so the journaled prefix is
+    // exactly what a resumed campaign will find.
+    if (inj) inj->maybe_kill(journal->appended());
+  };
+
+  pool.parallel_for_indexed(
+      options.runs, effective_seed_batch(options),
+      [&](std::size_t worker, std::size_t i) {
+        const std::uint64_t seed = options.first_seed + i;
+        if (auto it = resumed.find(seed); it != resumed.end()) {
+          outcomes[i] = it->second;
+          return;
+        }
+        WorkerState& ws = workers[worker];
+        if (!ws.runner) {
+          ws.runner = factory(worker);
+          SENT_REQUIRE(ws.runner != nullptr);
+        }
+        obs::Span run_span("campaign.run", "campaign", seed);
+        const std::uint64_t t0 = obs::Registry::now_ns();
+        RunOutcome out = run_with_retries(ws.runner, seed, options, inj);
+        const std::uint64_t elapsed_ns = obs::Registry::now_ns() - t0;
+        Metrics::get().run_ns.record(elapsed_ns);
+        wall_seconds[i] = static_cast<double>(elapsed_ns) * 1e-9;
+        outcomes[i] = std::move(out);
+        if (journal) {
+          ws.pending.push_back(to_record(seed, outcomes[i]));
+          if (ws.pending.size() >= flush_every) flush_pending(ws);
+        }
+      });
+  // Drain any buffered journal tails (worker order — the records carry
+  // their seeds, so journal order never matters) and land the final commit.
+  for (WorkerState& ws : workers) flush_pending(ws);
   if (journal) journal->commit();  // flush any batched tail
 
   // Aggregate in seed order so parallel output is bit-identical to serial
@@ -353,6 +397,20 @@ CampaignStats run_campaign(const ScenarioRunner& runner,
     Metrics::get().journal_io_errors.inc(journal->io_errors());
   }
   return stats;
+}
+
+CampaignStats run_campaign(const ScenarioRunner& runner,
+                           const CampaignOptions& options) {
+  SENT_REQUIRE(runner != nullptr);
+  // Every worker invokes the one shared runner object (not a copy), which
+  // must already be thread-safe — the historic contract.
+  return run_campaign(ScenarioRunnerFactory([&runner](std::size_t) {
+                        return ScenarioRunner(
+                            [&runner](std::uint64_t seed) {
+                              return runner(seed);
+                            });
+                      }),
+                      options);
 }
 
 CampaignStats run_campaign(const ScenarioRunner& runner,

@@ -31,6 +31,15 @@ namespace sent::pipeline {
 /// pool workers, so it must not touch shared mutable state.
 using ScenarioRunner = std::function<AnalysisReport(std::uint64_t seed)>;
 
+/// Builds one pool worker's ScenarioRunner (DESIGN.md §15). The factory is
+/// invoked lazily — once per worker, on the worker's own thread, at its
+/// first non-resumed seed — so the returned runner may own amortized
+/// MUTABLE state (a world arena, recycled trace buffers): no other worker
+/// ever touches it. The runner must still be a pure function of the seed
+/// observably, or campaign determinism claims break.
+using ScenarioRunnerFactory =
+    std::function<ScenarioRunner(std::size_t worker)>;
+
 /// How one seeded run ended (DESIGN.md §9).
 enum class RunStatus {
   Completed,  ///< runner returned a report (possibly degraded)
@@ -130,12 +139,36 @@ struct CampaignOptions {
   /// campaign machinery itself. Deterministic per (plan, seed/commit), so
   /// chaos campaigns stay bit-identical across --jobs and across resumes.
   fault::HarnessFaultPlan harness_faults;
+
+  /// Seed batching (DESIGN.md §15): each pool task claims this many
+  /// consecutive seeds from the shared atomic counter, amortizing dispatch
+  /// and keeping a worker's arena cache-warm across a contiguous seed
+  /// range. 0 = auto: runs / (8 * threads), clamped to [1, 64]. Purely a
+  /// scheduling knob — aggregation stays seed-ordered and bit-identical
+  /// for every batch size.
+  std::size_t seed_batch = 0;
+
+  /// Durable-mode append buffering (DESIGN.md §15): each worker buffers
+  /// this many outcome records locally before pushing them to the shared
+  /// JournalWriter in one locked batch. 1 (the default) appends through —
+  /// every outcome is visible to the commit/kill machinery immediately,
+  /// the exact legacy crash granularity. Larger values trade crash-window
+  /// size for less lock traffic on the hot loop; a crash can additionally
+  /// lose up to threads * (journal_flush_every - 1) unflushed outcomes,
+  /// which resume simply re-runs.
+  std::size_t journal_flush_every = 1;
 };
 
 /// Run `runner` for seeds first_seed .. first_seed + runs - 1, fanning the
 /// seeds across `threads` pool workers. Output is identical for every
 /// thread count.
 CampaignStats run_campaign(const ScenarioRunner& runner,
+                           const CampaignOptions& options);
+
+/// Amortized-state variant: `factory` builds one runner per pool worker
+/// (see ScenarioRunnerFactory). The shared-runner overload above is this
+/// with a factory returning the same runner for every worker.
+CampaignStats run_campaign(const ScenarioRunnerFactory& factory,
                            const CampaignOptions& options);
 
 /// Serial convenience overload (threads = 1).

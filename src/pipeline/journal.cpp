@@ -245,6 +245,17 @@ void JournalWriter::append(const JournalRecord& record) {
   if (appended_ % commit_every_ == 0) commit_locked();
 }
 
+void JournalWriter::append_batch(std::vector<JournalRecord>& records) {
+  if (records.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (JournalRecord& record : records) {
+    records_.push_back(std::move(record));
+    ++appended_;
+    if (appended_ % commit_every_ == 0) commit_locked();
+  }
+  records.clear();
+}
+
 bool JournalWriter::commit() {
   std::lock_guard<std::mutex> lock(mutex_);
   return commit_locked();

@@ -123,6 +123,13 @@ class JournalWriter {
   /// throws on IO problems (see io_errors()).
   void append(const JournalRecord& record);
 
+  /// Append many records under a single lock acquisition — the durable
+  /// campaign's per-worker buffering path (DESIGN.md §15). Equivalent to
+  /// calling append() per record (a commit lands every time the running
+  /// append count crosses a multiple of commit_every), minus the per-record
+  /// lock traffic. `records` is drained.
+  void append_batch(std::vector<JournalRecord>& records);
+
   /// Atomically write the full contents (temp-file + rename). Returns
   /// false — and keeps every record buffered for the next attempt — on
   /// an IO error.

@@ -1,0 +1,96 @@
+// Pooled Fig-5 case runners for amortized campaigns (DESIGN.md §15).
+//
+// The campaign engine dispatches seeds to per-worker ScenarioRunners (see
+// ScenarioRunnerFactory in campaign.hpp). This module supplies those
+// runners for the three case studies: each worker's runner owns a
+// worker-local apps::WorldArena, so across its seed batches the event
+// queue's slot slab, the heap storage and the multi-megabyte trace buffers
+// are allocated once and scrubbed between runs instead of rebuilt. The
+// pooled path is bit-identical to fresh construction — the reused surfaces
+// are exactly the ones EventQueue::reset() and
+// NodeTrace::clear_keep_capacity() restore to blank, and everything else
+// is rebuilt per seed. tests/worker_pool_test.cpp holds the parity.
+//
+// Phase accounting rides along on the obs shard-merge pattern: each worker
+// accumulates setup / simulate / analyze wall-clock into its own padded
+// shard (no shared mutex, no atomics on the hot path) and the bench merges
+// once at the end to attribute where campaign time actually goes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/campaign.hpp"
+
+namespace sent::pipeline {
+
+/// Wall-clock seconds per pipeline phase. Diagnostic only — measured, not
+/// derived from the seed, so never part of a determinism comparison.
+struct PhaseTotals {
+  double setup_seconds = 0.0;     ///< world construction (pre event loop)
+  double simulate_seconds = 0.0;  ///< event-loop drain
+  double analyze_seconds = 0.0;   ///< trace round-trip + Sentomist back end
+  std::uint64_t runs = 0;         ///< completed runner invocations counted
+
+  PhaseTotals& operator+=(const PhaseTotals& other) {
+    setup_seconds += other.setup_seconds;
+    simulate_seconds += other.simulate_seconds;
+    analyze_seconds += other.analyze_seconds;
+    runs += other.runs;
+    return *this;
+  }
+};
+
+/// Per-worker phase shards, merged once at the end (the src/obs pattern).
+/// Each worker writes only its own cache-line-padded shard from its own
+/// thread; merged() is only valid after the campaign returns.
+class PhaseShards {
+ public:
+  /// `workers` must be >= the campaign's thread count (1 for inline).
+  explicit PhaseShards(std::size_t workers)
+      : shards_(workers == 0 ? 1 : workers) {}
+
+  PhaseTotals& shard(std::size_t worker) { return shards_.at(worker).totals; }
+
+  PhaseTotals merged() const {
+    PhaseTotals total;
+    for (const Shard& s : shards_) total += s.totals;
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    PhaseTotals totals;
+  };
+  std::vector<Shard> shards_;
+};
+
+/// Everything a pooled case runner varies on. The defaults reproduce the
+/// clean Fig-5 campaign runs in bench/ext_campaign; the chaos knobs
+/// reproduce bench/ext_chaos's fault ladder.
+struct CaseRunnerConfig {
+  /// fault::FaultPlan::at_intensity strength; 0 = the all-zero plan (no
+  /// fault machinery wired, bit-identical to pre-fault builds).
+  double intensity = 0.0;
+  /// Watchdog event budget per run, 0 = unlimited.
+  std::uint64_t event_budget = 0;
+  /// Chaos ladder trace I/O leg: save -> perturb -> lenient-load each
+  /// analyzed trace (perturbation keyed off the run seed).
+  bool trace_round_trip = false;
+  /// false = historic fresh-construction path (no arena); the parity
+  /// battery and the benches' pooled-vs-fresh legs flip this.
+  bool pooled = true;
+};
+
+/// Factory building one pooled runner per campaign worker for case `name`
+/// ("I", "II" or "III" — same configs as bench/ext_campaign: case I at the
+/// vulnerable D=20ms over 10s, cases II/III at scenario defaults). When
+/// `phases` is non-null each worker streams its per-phase wall clock into
+/// phases->shard(worker); the caller owns the shards and must size them
+/// for the campaign's thread count.
+ScenarioRunnerFactory make_case_runner_factory(const std::string& name,
+                                               const CaseRunnerConfig& config,
+                                               PhaseShards* phases = nullptr);
+
+}  // namespace sent::pipeline

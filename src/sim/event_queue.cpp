@@ -60,6 +60,29 @@ void EventQueue::flush_metrics() {
   queue_hwm_ = 0;
 }
 
+void EventQueue::reset() {
+  SENT_REQUIRE_MSG(event_depth_ == 0 && drain_depth_ == 0,
+                   "EventQueue::reset inside an event or drain");
+  flush_metrics();  // a reset ends the run, same as destruction
+  // Drain the heaps with pop loops so their underlying vectors keep their
+  // capacity; destroying the Slot table releases every pending closure.
+  while (!pool_heap_.empty()) pool_heap_.pop();
+  while (!boxed_heap_.empty()) boxed_heap_.pop();
+  slots_.clear();  // capacity retained: the slab regrows 0,1,2,... like new
+  free_slots_.clear();
+  next_seq_ = 1;
+  cancelled_.clear();
+  next_boxed_id_ = 1;
+  deferred_.clear();
+  deferred_inlined_ = deferred_spilled_ = 0;
+  now_ = 0;
+  live_ = 0;
+  horizon_ = 0;
+  executed_ = 0;
+  watchdog_budget_ = 0;
+  watchdog_armed_at_ = 0;
+}
+
 void EventQueue::on_scheduled() {
   ++live_;
   ++pending_scheduled_;

@@ -230,6 +230,21 @@ class EventQueue {
   /// (keeping the hot path branch-free, DESIGN.md §12).
   void flush_metrics();
 
+  /// Scrub the queue back to its just-constructed logical state while
+  /// retaining every amortized buffer: the slot slab, the free list and
+  /// the heap storage keep their capacity, so a worker-local world pool
+  /// (DESIGN.md §15) pays the slab growth once per worker instead of once
+  /// per seeded run. Batched obs counters are flushed first (reset is the
+  /// run boundary, exactly like destruction), pending events are dropped
+  /// with their closures destroyed, the watchdog is disarmed and the clock
+  /// returns to 0. Outstanding EventIds from before the reset must be
+  /// dropped by the caller; the generation tags make a stale cancel a
+  /// harmless no-op either way. Must not be called from inside an event or
+  /// a drain. A reset queue is observationally identical to a freshly
+  /// constructed one — the world-reset parity battery in
+  /// tests/worker_pool_test.cpp holds this bit-exactly.
+  void reset();
+
  private:
   // ---- pooled engine -----------------------------------------------------
 

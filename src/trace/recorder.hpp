@@ -52,13 +52,33 @@ struct NodeTrace {
 
   /// Total executed instructions.
   std::size_t executed() const { return instrs.size(); }
+
+  /// Empty every stream while keeping the vectors' capacity, so a trace
+  /// taken from a finished run can seed the next run's Recorder without
+  /// reallocating the (large) instruction buffer. Content-wise the result
+  /// is indistinguishable from a default-constructed NodeTrace.
+  void clear_keep_capacity() {
+    lifecycle.clear();
+    instrs.clear();
+    bugs.clear();
+    instr_table.clear();
+    node_id = 0;
+    run_end = 0;
+  }
 };
 
 /// Recorder used by the machine/kernel while a node runs. Owns the growing
 /// NodeTrace; take() moves it out at end of run.
 class Recorder {
  public:
-  explicit Recorder(std::uint32_t node_id) { trace_.node_id = node_id; }
+  /// `recycled` donates its buffer capacity (typically a trace taken from
+  /// the previous run on this worker, DESIGN.md §15); it is scrubbed before
+  /// use, so recording starts from the same logical blank slate either way.
+  explicit Recorder(std::uint32_t node_id, NodeTrace recycled = NodeTrace{})
+      : trace_(std::move(recycled)) {
+    trace_.clear_keep_capacity();
+    trace_.node_id = node_id;
+  }
 
   void on_post_task(sim::Cycle cycle, TaskId task);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 
 namespace sent::util {
 
@@ -36,32 +37,64 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t chunk) {
+  parallel_for_indexed(n, chunk,
+                       [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t worker, std::size_t i)>& fn) {
   if (n == 0) return;
+  if (chunk == 0) chunk = 1;
   if (workers_.empty()) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
-  // One stripe per worker, indices round-robin so uneven per-index cost
-  // (e.g. triangular kernel rows) spreads across workers.
-  const std::size_t stripes = std::min(workers_.size(), n);
+  // One claiming stripe per worker, but never more stripes than chunks —
+  // a surplus stripe would only contend on the counter and find nothing.
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  const std::size_t stripes = std::min(workers_.size(), chunks);
+
+  // Shared dynamic-claim state. The counter is the hot path; the exception
+  // slot is cold (touched only when an invocation throws) and keeps the
+  // deterministic contract: remember the exception thrown at the lowest
+  // index, regardless of which stripe hit it or when.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
   std::vector<std::future<void>> done;
   done.reserve(stripes);
   for (std::size_t s = 0; s < stripes; ++s) {
-    done.push_back(submit([s, stripes, n, &fn] {
-      for (std::size_t i = s; i < n; i += stripes) fn(i);
+    done.push_back(submit([s, chunk, n, &next, &fn, &error_mutex,
+                           &error_index, &error] {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = std::min(begin + chunk, n);
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            fn(s, i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (i < error_index) {
+              error_index = i;
+              error = std::current_exception();
+            }
+            return;  // this stripe stops claiming; siblings finish
+          }
+        }
+      }
     }));
   }
-  // Wait for everything before rethrowing so no stripe still references fn.
-  std::exception_ptr first;
-  for (std::future<void>& f : done) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first) first = std::current_exception();
-    }
-  }
-  if (first) std::rethrow_exception(first);
+  // Wait for everything before rethrowing so no stripe still references fn
+  // or the shared claim state.
+  for (std::future<void>& f : done) f.get();
+  if (error) std::rethrow_exception(error);
 }
 
 std::size_t ThreadPool::hardware_threads() {

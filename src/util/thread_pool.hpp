@@ -9,6 +9,7 @@
 // and take no lock-ordering risk.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -56,11 +57,28 @@ class ThreadPool {
   }
 
   /// Run fn(0) .. fn(n-1), blocking until all complete. Indices are
-  /// distributed round-robin across workers so triangular workloads (row i
-  /// costs ~n-i) stay balanced. If any invocation throws, the first
-  /// exception (by worker stripe) is rethrown after all work finishes.
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& fn);
+  /// claimed dynamically in contiguous chunks of `chunk` from a shared
+  /// atomic counter, so uneven per-index cost (a retried campaign seed, a
+  /// triangular kernel row) rebalances instead of stalling one static
+  /// stripe. chunk = 1 claims single indices (maximum balance); larger
+  /// chunks amortize the claim and improve per-worker locality. If any
+  /// invocation throws, the exception raised at the LOWEST index is
+  /// rethrown after all workers finish — deterministic regardless of how
+  /// chunks were interleaved. A worker that throws stops claiming; its
+  /// unstarted indices are abandoned, matching the old stripe semantics.
+  /// Inline mode (no workers) runs indices in strict order on the calling
+  /// thread and lets the first exception escape immediately.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t chunk = 1);
+
+  /// Worker-indexed variant for callers that keep amortized per-worker
+  /// state (worker-local world pools, shard aggregators): fn(worker, i)
+  /// where `worker` is a dense stable id in [0, stripes) identifying which
+  /// parallel stripe — and therefore which OS thread, for the duration of
+  /// this call — executes the index. Inline mode passes worker = 0.
+  void parallel_for_indexed(
+      std::size_t n, std::size_t chunk,
+      const std::function<void(std::size_t worker, std::size_t i)>& fn);
 
   /// parallel_for over a container: fn(items[i]) for every element.
   template <typename Container, typename F>

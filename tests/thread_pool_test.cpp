@@ -169,6 +169,104 @@ TEST(ThreadPool, InlineModeMatchesSerialSemantics) {
   }
 }
 
+// ---- chunked dynamic claiming ---------------------------------------------
+
+// Every chunk size covers every index exactly once — including chunks that
+// don't divide n, chunks larger than n, and the chunk=0 coercion to 1.
+TEST(ThreadPoolChunks, EveryChunkSizeCoversEveryIndexOnce) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1},
+                              std::size_t{4}}) {
+    ThreadPool pool(threads);
+    for (std::size_t chunk : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{16}, std::size_t{1000},
+                              std::size_t{5000}}) {
+      const std::size_t n = 1000;
+      std::vector<int> hits(n, 0);  // distinct slots: no synchronization
+      pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; }, chunk);
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "chunk " << chunk << " index " << i;
+    }
+  }
+}
+
+// The worker id handed to parallel_for_indexed is a dense stable id below
+// the stripe count, and a worker sees its whole chunk contiguously.
+TEST(ThreadPoolChunks, IndexedVariantReportsDenseWorkerIds) {
+  ThreadPool pool(4);
+  const std::size_t n = 256, chunk = 8;
+  std::vector<std::size_t> worker_of(n, std::size_t(-1));
+  pool.parallel_for_indexed(n, chunk,
+                            [&](std::size_t worker, std::size_t i) {
+                              worker_of[i] = worker;
+                            });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_LT(worker_of[i], pool.size()) << i;
+    // Chunks are claimed whole: one worker owns all of [c*chunk, c*chunk+8).
+    ASSERT_EQ(worker_of[i], worker_of[i - i % chunk]) << i;
+  }
+}
+
+TEST(ThreadPoolChunks, IndexedInlineModeUsesWorkerZeroInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for_indexed(10, 4, [&](std::size_t worker, std::size_t i) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+// Dynamic claiming must preserve the deterministic-rethrow contract: with
+// sparse throwers, the LOWEST throwing index is always the one surfaced,
+// for any chunk size and any interleaving.
+TEST(ThreadPoolChunks, RethrowsLowestThrowingIndexUnderChunking) {
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                            std::size_t{16}}) {
+    for (int round = 0; round < 4; ++round) {
+      ThreadPool pool(4);
+      std::exception_ptr thrown;
+      try {
+        pool.parallel_for(200,
+                          [](std::size_t i) {
+                            // Sparse throwers: 41 is the lowest.
+                            if (i == 41 || i == 97 || i == 150)
+                              throw std::runtime_error(
+                                  "boom " + std::to_string(i));
+                          },
+                          chunk);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      ASSERT_TRUE(thrown) << "chunk " << chunk;
+      try {
+        std::rethrow_exception(thrown);
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "boom 41") << "chunk " << chunk;
+      }
+    }
+  }
+}
+
+// A throwing worker stops claiming chunks but its siblings finish theirs:
+// the pool neither deadlocks nor abandons every index.
+TEST(ThreadPoolChunks, SiblingsKeepDrainingAfterAThrow) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.parallel_for(400,
+                                 [&](std::size_t i) {
+                                   if (i == 0)
+                                     throw std::runtime_error("boom");
+                                   ++completed;
+                                 },
+                                 4),
+               std::runtime_error);
+  // Workers that never threw drain the counter well past one chunk.
+  EXPECT_GT(completed.load(), 0);
+  EXPECT_LE(completed.load(), 399);
+}
+
 TEST(ThreadPool, ManyConcurrentSubmits) {
   ThreadPool pool(4);
   std::atomic<int> sum{0};
