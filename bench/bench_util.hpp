@@ -26,9 +26,10 @@ inline void add_jobs_flag(util::Cli& cli,
   cli.add_flag("jobs", what + " (0 = all hardware cores)", "0");
 }
 
-/// Resolve the parsed --jobs value (0 means every hardware core).
+/// Resolve the parsed --jobs value (0 means every hardware core). A
+/// negative value is a usage error (exit 2), not a 2^64-sized thread pool.
 inline std::size_t parse_jobs(const util::Cli& cli) {
-  auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+  auto jobs = static_cast<std::size_t>(cli.get_nonneg_int("jobs"));
   return jobs == 0 ? util::ThreadPool::hardware_threads() : jobs;
 }
 

@@ -10,6 +10,7 @@
 //   2. its accuracy decays as labels get noisier, quantifying the cost of
 //      the manual labelling Sentomist does not need.
 #include <cstdio>
+#include <functional>
 
 #include "apps/scenarios.hpp"
 #include "bench_util.hpp"
@@ -111,22 +112,44 @@ std::vector<bool> corrupt_labels(const std::vector<bool>& truth,
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.add_flag("seed", "experiment seed", "5");
+  cli.add_flag("case", "case study to mine: I, II or all", "all");
+  bench::add_jobs_flag(cli, "simulation workers (the two case builds)");
   if (!cli.parse(argc, argv)) return 1;
   auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string which = cli.get("case");
+  if (!bench::check_case(which, {"I", "II", "all"})) return 2;
+  const std::size_t jobs = bench::parse_jobs(cli);
   util::Rng rng(seed);
 
-  LabeledCase case1 = build_case1(seed);
-  mine_and_print("E3 / case I, ground-truth labels (idealized best case)",
-                 case1, case1.truth);
-  mine_and_print("E3 / case I, 5% of good intervals mislabelled bad",
-                 case1, corrupt_labels(case1.truth, 0.05, rng));
-  mine_and_print("E3 / case I, 20% of good intervals mislabelled bad",
-                 case1, corrupt_labels(case1.truth, 0.20, rng));
+  // The two case builds are independent sims; fan them over the pool when
+  // both are requested (pure build — printing stays in a fixed order).
+  LabeledCase case1, case2;
+  const bool want1 = which == "I" || which == "all";
+  const bool want2 = which == "II" || which == "all";
+  {
+    util::ThreadPool pool(want1 && want2 ? std::min<std::size_t>(jobs, 2)
+                                         : 1);
+    std::vector<std::function<void()>> builds;
+    if (want1) builds.push_back([&] { case1 = build_case1(seed); });
+    if (want2) builds.push_back([&] { case2 = build_case2(3); });
+    pool.parallel_for(builds.size(),
+                      [&](std::size_t i) { builds[i](); });
+  }
 
-  LabeledCase case2 = build_case2(3);
-  mine_and_print(
-      "E3 / case II, ground-truth labels (function granularity fails)",
-      case2, case2.truth);
+  if (want1) {
+    mine_and_print("E3 / case I, ground-truth labels (idealized best case)",
+                   case1, case1.truth);
+    mine_and_print("E3 / case I, 5% of good intervals mislabelled bad",
+                   case1, corrupt_labels(case1.truth, 0.05, rng));
+    mine_and_print("E3 / case I, 20% of good intervals mislabelled bad",
+                   case1, corrupt_labels(case1.truth, 0.20, rng));
+  }
+
+  if (want2) {
+    mine_and_print(
+        "E3 / case II, ground-truth labels (function granularity fails)",
+        case2, case2.truth);
+  }
 
   std::printf(
       "\nDustminer requires labelled good/bad intervals; Sentomist ranks\n"

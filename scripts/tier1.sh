@@ -29,7 +29,7 @@ ctest --test-dir build-refdispatch --output-on-failure -j "${JOBS}"
 cmake -B build-tsan -S . -DSENT_SANITIZE=thread
 cmake --build build-tsan -j "${JOBS}" \
   --target thread_pool_test campaign_test worker_pool_test obs_test \
-  stream_test stream_parity_test
+  stream_test stream_parity_test corpus_test
 ./build-tsan/tests/thread_pool_test
 ./build-tsan/tests/campaign_test
 # The amortized campaign engine (DESIGN.md §15): worker-local arenas,
@@ -43,6 +43,11 @@ cmake --build build-tsan -j "${JOBS}" \
 # TSan sees the detector math and metric shards race-free under load.
 ./build-tsan/tests/stream_test
 ./build-tsan/tests/stream_parity_test --gtest_filter='*Chaos*'
+# The corpus sweep fans seeds over worker-local arenas and writes per-seed
+# outcome slots concurrently; its jobs-parity test runs under TSan so a
+# race in the slot writes or arena recycling cannot hide behind the
+# byte-identical aggregation.
+./build-tsan/tests/corpus_test --gtest_filter='*Jobs*'
 
 # ASan+UBSan pass over the failure surface: fault injection, lenient trace
 # salvage (including the seeded byte-mutation fuzz battery), campaign
@@ -55,7 +60,8 @@ cmake --build build-asan -j "${JOBS}" \
   --target fault_test serialize_test campaign_test worker_pool_test \
   journal_test cli_test \
   obs_test interval_property_test golden_fig5_test sim_test bytecode_test \
-  dispatch_parity_test stream_test stream_parity_test
+  dispatch_parity_test stream_test stream_parity_test corpus_test \
+  eval_metrics_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/serialize_test
 ./build-asan/tests/campaign_test
@@ -84,6 +90,11 @@ cmake --build build-asan -j "${JOBS}" \
 # where out-of-bounds reads would hide.
 ./build-asan/tests/stream_test
 ./build-asan/tests/stream_parity_test
+# The corpus generator and metric layer sanitized: mutation-hook builds,
+# trace-derived label derivation over recycled arena buffers, and the
+# hand-fixture metric battery (DESIGN.md §16).
+./build-asan/tests/corpus_test
+./build-asan/tests/eval_metrics_test
 
 # Chaos smoke: a small fault-intensity grid end to end. Exits nonzero on
 # any process abort, nondeterminism across thread counts, or a clean row
@@ -166,6 +177,17 @@ rm -f build/crash.journal build/stats_clean.journal
 ./build/bench/micro_perf --quick --ml-json build/BENCH_ml.json
 test -s build/BENCH_ml.json
 
+# Corpus-evaluation smoke (DESIGN.md §16): a reduced corpus x detector
+# sweep at --jobs 1 and --jobs 2; the deterministic metrics JSON must be
+# byte-identical across schedules (the driver's own --selfcheck-jobs is
+# disabled here because the cmp below IS the check, at smoke scale).
+./build/bench/ext_corpus --variants smoke --seeds 2 --run-scale 0.25 \
+  --selfcheck-jobs 0 --jobs 1 --json build/BENCH_corpus_j1.json
+./build/bench/ext_corpus --variants smoke --seeds 2 --run-scale 0.25 \
+  --selfcheck-jobs 0 --jobs 2 --json build/BENCH_corpus_j2.json
+cmp build/BENCH_corpus_j1.json build/BENCH_corpus_j2.json
+rm -f build/BENCH_corpus_j1.json build/BENCH_corpus_j2.json
+
 # Interpreter-throughput gate: both dispatch engines on the three Fig-5
 # cases. ext_sim exits nonzero if any serialized trace or ranking differs
 # between the engines, if any case's speedup falls below the floor, or if
@@ -177,4 +199,4 @@ test -s build/BENCH_ml.json
   --json build/BENCH_sim_smoke.json
 test -s build/BENCH_sim_smoke.json
 
-echo "tier-1 OK (incl. reference-dispatch suite + TSan concurrency/obs/stream/worker-pool + ASan/UBSan fault-surface/property/golden/dispatch-parity/stream/worker-pool + chaos + fleet soak + obs + scaling gate + ML parity + vMIPS gate)"
+echo "tier-1 OK (incl. reference-dispatch suite + TSan concurrency/obs/stream/worker-pool/corpus + ASan/UBSan fault-surface/property/golden/dispatch-parity/stream/worker-pool/corpus + chaos + fleet soak + obs + scaling gate + corpus sweep parity + ML parity + vMIPS gate)"

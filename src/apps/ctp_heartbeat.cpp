@@ -9,7 +9,8 @@ CtpHeartbeatApp::CtpHeartbeatApp(os::Node& node, hw::RadioChip& chip,
     : node_(node), chip_(chip), config_(config), rng_(rng) {
   config_.ctp.self = static_cast<net::NodeId>(node_.id());
   config_.ctp.is_root = config_.is_root;
-  config_.ctp.fix_send_fail = config_.fixed;
+  repaired_ = config_.fixed && config_.mutation == CtpMutation::None;
+  config_.ctp.fix_send_fail = repaired_;
   ctp_ = std::make_unique<proto::CtpNode>(config_.ctp);
   heartbeat_ = std::make_unique<proto::Heartbeat>(
       static_cast<net::NodeId>(node_.id()), config_.heartbeat_padding);
@@ -49,7 +50,7 @@ void CtpHeartbeatApp::build_code() {
       // Fixed variant: it clears the mark; we arm a retry below.
       if (ctp_->on_send_fail()) node_.mark_bug("ctp-hang");
       sending_mirror_ = ctp_->sending();
-      if (config_.fixed && !node_.timers().running(retry_line_))
+      if (repaired_ && !node_.timers().running(retry_line_))
         node_.timers().start_oneshot(retry_line_, config_.retry_delay);
     });
     mcu::CodeId id = b.build(prog);

@@ -30,6 +30,14 @@
 
 namespace sent::apps {
 
+/// Corpus mutation hook (DESIGN.md §16): reintroduces the unhandled
+/// send-FAIL `sending` hang into the REPAIRED app. `None` leaves the built
+/// program bit-identical to the unmutated app.
+enum class CtpMutation : std::uint8_t {
+  None = 0,
+  StuckSending,  ///< shared-flag: FAIL path leaves `sending` set forever
+};
+
 struct CtpHeartbeatConfig {
   bool is_root = false;
   bool is_source = false;
@@ -66,6 +74,9 @@ struct CtpHeartbeatConfig {
   bool fixed = false;
   sim::Cycle retry_delay = sim::cycles_from_millis(10);
 
+  /// Corpus mutation injected on top of the selected variant.
+  CtpMutation mutation = CtpMutation::None;
+
   proto::CtpConfig ctp;  ///< self / is_root filled in by the app
 };
 
@@ -96,6 +107,7 @@ class CtpHeartbeatApp {
   hw::RadioChip& chip_;
   CtpHeartbeatConfig config_;
   util::Rng rng_;
+  bool repaired_ = false;  ///< fixed AND unmutated: FAIL handled + retried
 
   std::unique_ptr<proto::CtpNode> ctp_;
   std::unique_ptr<proto::Heartbeat> heartbeat_;

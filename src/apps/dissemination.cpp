@@ -37,7 +37,9 @@ void DisseminationApp::build_code() {
     mcu::CodeBuilder b("adoptTask", /*is_task=*/true);
     b.ret_if_flag("guard_pending", adopt_pending_, false);
     b.instr("write_first", [this] {
-      if (config_.fixed) {
+      const bool torn =
+          !config_.fixed || config_.mutation == DissMutation::TornWrite;
+      if (!torn) {
         value_ = pend_value_;  // publish ordering: payload first
       } else {
         version_ = pend_version_;  // BUG: version visible before the value
@@ -52,7 +54,9 @@ void DisseminationApp::build_code() {
     b.branch_if_u32("flash_more", flash_remaining_, mcu::Cmp::Ne, 0,
                     "flash_loop");
     b.instr("write_second", [this] {
-      if (config_.fixed) {
+      const bool torn =
+          !config_.fixed || config_.mutation == DissMutation::TornWrite;
+      if (!torn) {
         version_ = pend_version_;  // version last: torn reads are harmless
       } else {
         value_ = pend_value_;

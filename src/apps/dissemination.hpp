@@ -29,6 +29,14 @@
 
 namespace sent::apps {
 
+/// Corpus mutation hook (DESIGN.md §16): reintroduces the version-before-
+/// value write ordering into the REPAIRED app. `None` leaves the built
+/// program bit-identical to the unmutated app.
+enum class DissMutation : std::uint8_t {
+  None = 0,
+  TornWrite,  ///< atomicity: version visible before the committed value
+};
+
 struct DisseminationConfig {
   bool is_publisher = false;
 
@@ -45,6 +53,9 @@ struct DisseminationConfig {
 
   /// Repaired variant: value first, version last (publish ordering).
   bool fixed = false;
+
+  /// Corpus mutation injected on top of the selected variant.
+  DissMutation mutation = DissMutation::None;
 };
 
 class DisseminationApp {

@@ -48,10 +48,23 @@ void RandomSourceApp::start() {
 
 RelayApp::RelayApp(os::Node& node, hw::RadioChip& chip, RelayConfig config)
     : node_(node), chip_(chip), config_(config) {
-  if (config_.fixed)
-    build_fixed();
-  else
-    build_buggy();
+  switch (config_.mutation) {
+    case RelayMutation::TornMailbox:
+      build_torn_mailbox();
+      break;
+    case RelayMutation::PopFirst:
+      build_pop_first();
+      break;
+    case RelayMutation::BusyDrop:
+      build_buggy();
+      break;
+    case RelayMutation::None:
+      if (config_.fixed)
+        build_fixed();
+      else
+        build_buggy();
+      break;
+  }
 }
 
 void RelayApp::build_buggy() {
@@ -148,6 +161,139 @@ void RelayApp::build_fixed() {
   b.jump("loop", "top");
   mcu::CodeId id = b.build(node_.program());
   node_.machine().register_handler(os::irq::kRadioSpi, id);
+}
+
+void RelayApp::build_torn_mailbox() {
+  // Deferred-forwarding refactor of the repaired relay: the SPI handler
+  // stages each arrival into a single-slot mailbox and posts forwardTask,
+  // which checksums the slot and forwards it. THE MUTATION: the handler
+  // writes the slot unconditionally — staging over a still-full mailbox
+  // (the task may be mid-checksum under this very interrupt) tears the
+  // packet the task is consuming: an atomicity violation across the
+  // interrupt/task boundary. A Busy send leaves the slot staged for the
+  // next arrival's post to retry, so every loss funnels through the
+  // marked overwrite path.
+  chip_.set_signal_txdone(false);
+  {
+    mcu::CodeBuilder b("forwardTask", /*is_task=*/true);
+    b.ret_if_flag("guard_empty", mailbox_full_, false);
+    b.instr("begin_read", [this] {
+      csum_len_ = static_cast<std::uint32_t>(mailbox_.payload.size());
+    });
+    // Checksum directly over the mailbox slot, one (expensive) iteration
+    // per byte: the whole loop is the window in which an arrival tears
+    // the packet under us.
+    b.set_u32("csum_init", csum_pos_, 0);
+    b.label("csum_top");
+    b.branch_if_u32_ge("csum_done", csum_pos_, csum_len_, "csum_out");
+    b.add_u32("csum_step", csum_pos_, 1, config_.mailbox_iteration_cost);
+    b.jump("csum_loop", "csum_top");
+    b.label("csum_out");
+    b.instr("send_staged", [this] {
+      mailbox_.dst = config_.next_hop;
+      if (chip_.send(mailbox_) == hw::SendResult::Ok) {
+        ++forwarded_;
+        mailbox_full_ = false;
+      }
+      // Busy: keep the slot staged; retried at the next arrival's post.
+    });
+    mcu::CodeId id = b.build(node_.program());
+    forward_task_ = node_.kernel().register_task(id);
+  }
+  {
+    mcu::CodeBuilder b("Receive.receive", /*is_task=*/false);
+    b.label("top");
+    b.ret_if("empty", [this] { return !chip_.has_event(); });
+    b.instr("take", [this] {
+      event_ = chip_.take_event();
+      ++received_;
+    });
+    b.instr("stage", [this] {
+      if (mailbox_full_) {
+        // Ground truth: the slot still holds an unconsumed packet — this
+        // overwrite is the torn forward.
+        ++torn_overwrites_;
+        node_.mark_bug("torn-mailbox");
+      }
+      mailbox_ = event_.packet;
+      mailbox_full_ = true;
+    });
+    b.instr("post_forward",
+            [this] { node_.kernel().post(forward_task_); });
+    b.jump("next", "top");
+    mcu::CodeId id = b.build(node_.program());
+    node_.machine().register_handler(os::irq::kRadioSpi, id);
+  }
+}
+
+void RelayApp::build_pop_first() {
+  // Queueing refactor of the repaired relay that got the ORDER wrong: the
+  // forward task pops the packet off the queue before the send result is
+  // known. A Busy send then has nothing to retry — the packet the queue
+  // already surrendered is simply gone.
+  chip_.set_signal_txdone(false);
+  {
+    mcu::CodeBuilder b("forwardTask", /*is_task=*/true);
+    b.ret_if("guard_empty", [this] { return queue_.empty(); });
+    b.instr("pop", [this] {
+      // Ordering bug: ownership leaves the queue here, one step early.
+      popped_ = std::move(queue_.front());
+      queue_.pop_front();
+      csum_len_ = static_cast<std::uint32_t>(popped_.payload.size());
+    });
+    b.set_u32("csum_init", csum_pos_, 0);
+    b.label("csum_top");
+    b.branch_if_u32_ge("csum_done", csum_pos_, csum_len_, "csum_out");
+    b.add_u32("csum_step", csum_pos_, 1);
+    b.jump("csum_loop", "csum_top");
+    b.label("csum_out");
+    b.instr("send_popped", [this] {
+      popped_.dst = config_.next_hop;
+      if (chip_.send(popped_) == hw::SendResult::Ok) {
+        send_lost_ = false;
+        ++forwarded_;
+      } else {
+        // Ground truth: the surrendered packet is lost.
+        send_lost_ = true;
+        ++lost_pop_first_;
+        node_.mark_bug("pop-first-loss");
+      }
+    });
+    b.branch_if_flag("loss_check", send_lost_, false, "done_ok");
+    // Loss-path bookkeeping loop: the error handling makes the symptom
+    // visible in the interval's instruction counters.
+    b.set_u32("log_init", log_remaining_, 6);
+    b.label("log_top");
+    b.add_u32("log_step", log_remaining_, ~std::uint32_t{0}, 400);  // -1
+    b.branch_if_u32("log_more", log_remaining_, mcu::Cmp::Ne, 0, "log_top");
+    b.label("done_ok");
+    b.instr("repost", [this] {
+      if (!queue_.empty()) node_.kernel().post(forward_task_);
+    });
+    mcu::CodeId id = b.build(node_.program());
+    forward_task_ = node_.kernel().register_task(id);
+  }
+  {
+    mcu::CodeBuilder b("Receive.receive", /*is_task=*/false);
+    b.label("top");
+    b.ret_if("empty", [this] { return !chip_.has_event(); });
+    b.instr("take", [this] {
+      event_ = chip_.take_event();
+      ++received_;
+    });
+    b.instr("enqueue", [this] {
+      if (queue_.size() >= config_.queue_capacity) {
+        ++dropped_full_;
+        return;
+      }
+      queue_.push_back(event_.packet);
+    });
+    b.instr("post_forward",
+            [this] { node_.kernel().post(forward_task_); });
+    b.jump("next", "top");
+    mcu::CodeId id = b.build(node_.program());
+    node_.machine().register_handler(os::irq::kRadioSpi, id);
+  }
 }
 
 }  // namespace sent::apps

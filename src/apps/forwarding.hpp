@@ -65,10 +65,34 @@ class RandomSourceApp {
 
 // ----------------------------------------------------------------- relay
 
+/// Corpus mutation hooks (DESIGN.md §16). Each reintroduces one taxonomy
+/// class of transient bug into the relay; `None` keeps the legacy
+/// fixed/buggy selection by `RelayConfig::fixed` bit-identical.
+enum class RelayMutation : std::uint8_t {
+  None = 0,
+  /// Shared-flag race: the legacy drop-on-busy receive path (the paper's
+  /// case-II bug), selectable independently of `fixed`.
+  BusyDrop,
+  /// Atomicity: a deferred-forwarding refactor stages each arrival into a
+  /// single-slot mailbox the forward task reads — the handler can overwrite
+  /// the slot while the task is still consuming it.
+  TornMailbox,
+  /// Ordering: the forward task pops the queue BEFORE the send result is
+  /// known, so a Busy send loses the packet it already surrendered.
+  PopFirst,
+};
+
 struct RelayConfig {
   net::NodeId next_hop = 0;  ///< where forwarded packets go (the sink)
   bool fixed = false;        ///< queue-and-pump repaired variant
   std::size_t queue_capacity = 8;
+
+  /// Corpus mutation; overrides `fixed`'s program selection when not None.
+  RelayMutation mutation = RelayMutation::None;
+  /// TornMailbox: cycles per checksum-loop iteration in the forward task.
+  /// Stretches the window in which the slot is being read, so the tear
+  /// probability is a swept corpus parameter.
+  std::uint32_t mailbox_iteration_cost = 900;
 };
 
 class RelayApp {
@@ -82,21 +106,34 @@ class RelayApp {
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t dropped_busy() const { return dropped_busy_; }
   std::uint64_t dropped_queue_full() const { return dropped_full_; }
+  std::uint64_t torn_overwrites() const { return torn_overwrites_; }
+  std::uint64_t lost_pop_first() const { return lost_pop_first_; }
 
  private:
   os::Node& node_;
   hw::RadioChip& chip_;
   RelayConfig config_;
   hw::RadioChip::Event event_{};
-  std::deque<net::Packet> queue_;  // fixed variant only
+  std::deque<net::Packet> queue_;  // fixed + PopFirst variants
   std::uint32_t csum_pos_ = 0;     // checksum-loop scratch register
   std::uint32_t csum_len_ = 0;     // payload length of the taken packet
   std::uint32_t seq_mod8_ = 0;     // event_.packet.seq % 8, set by "take"
+
+  // Mutation state (TornMailbox / PopFirst).
+  trace::TaskId forward_task_ = 0;
+  net::Packet mailbox_{};        // single staging slot (TornMailbox)
+  bool mailbox_full_ = false;    // slot holds an unconsumed packet
+  net::Packet popped_{};         // packet surrendered by the queue (PopFirst)
+  bool send_lost_ = false;       // PopFirst: last send lost its packet
+  std::uint32_t log_remaining_ = 0;  // loss-path bookkeeping loop
+
   std::uint64_t received_ = 0, forwarded_ = 0, dropped_busy_ = 0,
-                dropped_full_ = 0;
+                dropped_full_ = 0, torn_overwrites_ = 0, lost_pop_first_ = 0;
 
   void build_buggy();
   void build_fixed();
+  void build_torn_mailbox();
+  void build_pop_first();
 };
 
 }  // namespace sent::apps

@@ -26,9 +26,17 @@ void OscilloscopeApp::build_code() {
       // Building the payload reads the shared packet buffer — exactly the
       // data the interleaving bug can have polluted by now.
       // (The fixed variant reads the committed copy instead.)
+      if (config_.mutation == OscMutation::LateCommit && !commit_done_) {
+        // The deferred commit: correct only if no ADC interrupt has
+        // overwritten packet_data_[0] since the post.
+        send_buffer_ = packet_data_;
+        commit_done_ = true;
+      }
     });
     b.instr("send", [this] {
-      const auto& buf = config_.fixed ? send_buffer_ : packet_data_;
+      const bool live_buffer =
+          !config_.fixed || config_.mutation == OscMutation::SharedBuffer;
+      const auto& buf = live_buffer ? packet_data_ : send_buffer_;
       net::Packet p;
       p.dst = config_.sink;
       p.am_type = proto::am::kOscilloscope;
@@ -63,10 +71,20 @@ void OscilloscopeApp::build_code() {
     mcu::CodeBuilder b("Read.readDone", /*is_task=*/false);
     b.instr("store_data", [this] {
       // packet->data[dataItem] = data;
-      if (send_pending_ && !config_.fixed) {
+      const bool live_buffer =
+          !config_.fixed || config_.mutation == OscMutation::SharedBuffer;
+      if (send_pending_ && live_buffer) {
         // Ground truth: a committed-but-unsent packet is being overwritten.
         ++pollutions_;
         node_.mark_bug("data-pollution");
+      }
+      if (send_pending_ && !commit_done_ &&
+          config_.mutation == OscMutation::LateCommit) {
+        // Ground truth: the task has not committed yet, so this write lands
+        // in the triple the pending send will copy — same pollution, caused
+        // by reordering the commit rather than by sharing the buffer.
+        ++pollutions_;
+        node_.mark_bug("late-commit-pollution");
       }
       packet_data_[data_item_] = adc_.value();
       ++readings_;
@@ -99,11 +117,39 @@ void OscilloscopeApp::build_code() {
     b.add_u32("inc_item", data_item_, 1);
     b.ret_if_u32("check_three", data_item_, mcu::Cmp::Ne, 3);
     b.set_u32("reset_item", data_item_, 0);
+    if (config_.mutation == OscMutation::PendingSkip) {
+      // Shared-flag race: treat send_pending_ as a "send in flight" guard
+      // and drop the fresh triple instead of posting. Correct-looking —
+      // but the flag is cleared by the TASK, so any task-queue delay makes
+      // the handler discard real data.
+      b.branch_if_flag("flag_check", send_pending_, true, "skip_triple");
+    }
     b.instr("post_send", [this] {
-      if (config_.fixed) send_buffer_ = packet_data_;  // commit a copy
+      if (config_.mutation == OscMutation::LateCommit) {
+        commit_done_ = false;  // commit deferred into the task (the bug)
+      } else if (config_.fixed) {
+        send_buffer_ = packet_data_;  // commit a copy
+      }
       send_pending_ = true;
       node_.kernel().post(send_task_);
     });
+    if (config_.mutation == OscMutation::PendingSkip) {
+      b.ret("posted");
+      b.label("skip_triple");
+      b.instr("drop_triple", [this] {
+        // Ground truth: this triple never leaves the node.
+        ++mutation_drops_;
+        node_.mark_bug("pending-skip-drop");
+      });
+      // Error-path bookkeeping loop: the discard work makes the symptom
+      // visible in the interval's instruction counters.
+      b.set_u32("discard_init", discard_remaining_, 3);
+      b.label("discard_top");
+      b.add_u32("discard_step", discard_remaining_, ~std::uint32_t{0},  // -1
+                600);
+      b.branch_if_u32("discard_more", discard_remaining_, mcu::Cmp::Ne, 0,
+                      "discard_top");
+    }
     mcu::CodeId id = b.build(prog);
     node_.machine().register_handler(os::irq::kAdc, id);
   }

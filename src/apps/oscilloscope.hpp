@@ -35,6 +35,25 @@
 
 namespace sent::apps {
 
+/// Corpus mutation hooks (DESIGN.md §16). Each reintroduces exactly one
+/// taxonomy class of transient bug into the REPAIRED app (`fixed = true`),
+/// marking ground truth at the manifestation point. `None` leaves the
+/// built program bit-identical to the unmutated app.
+enum class OscMutation : std::uint8_t {
+  None = 0,
+  /// Atomicity: the send task reads the live packet buffer (the legacy
+  /// Figure-2 bug, selectable independently of `fixed`).
+  SharedBuffer,
+  /// Ordering: the double-buffer commit is deferred from the posting
+  /// handler into the task body — correct only if the task runs before
+  /// the next ADC interrupt.
+  LateCommit,
+  /// Shared-flag race: the handler trusts `send_pending_` as a busy guard
+  /// and drops the fresh triple whenever the previous send task has not
+  /// cleared it yet.
+  PendingSkip,
+};
+
 struct OscilloscopeConfig {
   net::NodeId sink = 0;
 
@@ -51,6 +70,11 @@ struct OscilloscopeConfig {
 
   /// Repaired (double-buffered) variant.
   bool fixed = false;
+
+  /// Corpus mutation injected on top of the selected variant. Mutations
+  /// other than SharedBuffer assume `fixed = true` (they perturb the
+  /// repaired data path).
+  OscMutation mutation = OscMutation::None;
 };
 
 class OscilloscopeApp {
@@ -72,6 +96,7 @@ class OscilloscopeApp {
   std::uint64_t sends_skipped_busy() const { return skipped_busy_; }
   std::uint64_t pollutions() const { return pollutions_; }
   std::uint64_t heavy_tasks() const { return heavy_tasks_; }
+  std::uint64_t mutation_drops() const { return mutation_drops_; }
 
  private:
   os::Node& node_;
@@ -90,11 +115,13 @@ class OscilloscopeApp {
   std::array<std::uint16_t, 3> packet_data_{};  ///< the shared buffer (bug)
   std::array<std::uint16_t, 3> send_buffer_{};  ///< fixed variant only
   bool send_pending_ = false;  ///< instrumentation: packet committed, unsent
+  bool commit_done_ = true;    ///< LateCommit: task has committed the triple
   std::uint32_t heavy_remaining_ = 0;
+  std::uint32_t discard_remaining_ = 0;  ///< PendingSkip drop-path loop
   std::uint16_t enc_tmp_ = 0;  ///< encoding-loop scratch register
 
   std::uint64_t readings_ = 0, packets_sent_ = 0, skipped_busy_ = 0,
-                pollutions_ = 0, heavy_tasks_ = 0;
+                pollutions_ = 0, heavy_tasks_ = 0, mutation_drops_ = 0;
 
   void build_code();
 };

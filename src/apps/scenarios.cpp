@@ -167,6 +167,8 @@ Case2Result run_case2(const Case2Config& config, WorldArena* arena) {
   RelayConfig relay_config;
   relay_config.next_hop = 0;
   relay_config.fixed = config.fixed;
+  relay_config.mutation = config.relay_mutation;
+  relay_config.mailbox_iteration_cost = config.relay_mailbox_iteration_cost;
   RelayApp relay(relay_node, relay_chip, relay_config);
 
   os::Node source_node(2, queue, buffer(arena));

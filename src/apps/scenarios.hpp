@@ -103,6 +103,11 @@ struct Case2Config {
   double loss_rate = 0.0;
   std::optional<net::Channel::GilbertElliott> gilbert_elliott;
 
+  /// Corpus mutation injected into the relay (DESIGN.md §16), plus its
+  /// window knob. None keeps the legacy fixed/buggy selection.
+  RelayMutation relay_mutation = RelayMutation::None;
+  std::uint32_t relay_mailbox_iteration_cost = 900;
+
   /// Low-power listening on every mote (default: always-on radios).
   hw::LplParams lpl;
   hw::RadioParams radio = [] {

@@ -1,0 +1,139 @@
+// Transient-bug corpus (DESIGN.md §16).
+//
+// The paper validates Sentomist on three case-study anecdotes; the corpus
+// turns that into a measurable claim. Each VariantSpec names one seeded
+// mutation — an atomicity violation, an ordering bug, or a shared-flag
+// race across the interrupt/task boundary (Sun et al.'s disentanglement
+// taxonomy) — injected into one of the existing applications via its
+// config-level mutation hook. Running a variant yields node traces whose
+// ground-truth labels are DERIVED FROM THE TRACE ITSELF: the mutated code
+// marks the exact cycle at which the bug manifests, and every anatomized
+// interval of the case's event type whose window contains such a marker is
+// labelled buggy. No interval is ever hand-labelled.
+//
+// The same spec with its mutation stripped (`baseline = true`) is the
+// control: it must produce zero markers and therefore zero labels, which
+// tests/corpus_test.cpp enforces for every variant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/scenarios.hpp"
+#include "pipeline/sentomist.hpp"
+
+namespace sent::corpus {
+
+/// Sun et al.'s interrupt-disentanglement taxonomy classes.
+enum class BugClass : std::uint8_t { Atomicity, Ordering, SharedFlag };
+
+const char* to_string(BugClass c);
+
+/// One parameterized transient-bug variant. Only the knobs of the variant's
+/// case are meaningful; the rest keep their defaults and are omitted from
+/// params().
+struct VariantSpec {
+  std::string id;           ///< stable corpus id, e.g. "osc-late-commit-d20"
+  BugClass bug_class = BugClass::Atomicity;
+  std::string case_tag;     ///< "I", "II", "III" or "IV"
+  std::string marker;       ///< trace marker kind = the ground-truth key
+  std::string description;
+  double run_seconds = 10.0;
+
+  // --- case I knobs ---
+  apps::OscMutation osc_mutation = apps::OscMutation::None;
+  double sample_period_ms = 20.0;
+  std::uint32_t heavy_iterations = 16;
+
+  // --- case II knobs ---
+  apps::RelayMutation relay_mutation = apps::RelayMutation::None;
+  double mean_interval_ms = 100.0;
+  double post_tx_hold_ms = 3.0;
+  std::uint32_t mailbox_iteration_cost = 900;
+
+  // --- case IV knobs ---
+  apps::DissMutation diss_mutation = apps::DissMutation::None;
+  std::uint32_t flash_commit_iterations = 12;
+
+  // --- case III knobs ---
+  apps::CtpMutation ctp_mutation = apps::CtpMutation::None;
+  std::size_t heartbeat_padding = 96;
+
+  /// Canonical (name, value) list of the knobs this variant's case reads —
+  /// the golden manifest's parameter record.
+  std::vector<std::pair<std::string, std::string>> params() const;
+};
+
+/// The built-in corpus: >= 12 variants covering all three taxonomy classes
+/// across the four applications. Order is stable (manifest order).
+const std::vector<VariantSpec>& builtin_corpus();
+
+/// Lookup by id; nullptr when unknown.
+const VariantSpec* find_variant(const std::string& id);
+
+/// Comma-joined list of valid ids (for usage errors).
+std::string corpus_ids();
+
+// ---------------------------------------------------------------- labels
+
+/// Ground-truth label for one anatomized interval: the (node, run,
+/// interval-window) coordinates the detectors are graded against.
+struct IntervalLabel {
+  std::uint32_t node_id = 0;
+  std::size_t run = 0;
+  std::size_t seq_in_type = 0;  ///< chronological index among same-type
+  sim::Cycle start_cycle = 0;
+  sim::Cycle end_cycle = 0;
+  std::size_t marker_hits = 0;  ///< markers of the variant's kind inside
+
+  bool operator==(const IntervalLabel&) const = default;
+};
+
+struct GroundTruth {
+  std::string marker;                 ///< the kind that was matched
+  std::vector<IntervalLabel> labels;  ///< analysis-sample order
+  std::size_t marker_events = 0;      ///< raw markers of that kind seen
+
+  bool triggered() const { return !labels.empty(); }
+};
+
+/// Derive ground truth for `traces` (in analysis order) at event type
+/// `line`: anatomize each trace and label every interval whose
+/// [start_cycle, end_cycle] window contains >= 1 marker of `kind`. This is
+/// an independent derivation of pipeline::analyze()'s per-sample has_bug
+/// flag; tests/corpus_test.cpp holds the two to agreement.
+GroundTruth derive_ground_truth(
+    const std::vector<pipeline::TaggedTrace>& traces, trace::IrqLine line,
+    const std::string& kind);
+
+/// Canonical text serialization (one line per label) and its FNV-1a digest
+/// — the golden manifest's drift detector.
+std::string ground_truth_text(const GroundTruth& truth);
+std::uint64_t ground_truth_digest(const GroundTruth& truth);
+
+// ------------------------------------------------------------ generation
+
+/// The product of one seeded variant run: the traces to analyze, their run
+/// tags, the anatomized event type, and the derived ground truth.
+struct VariantRun {
+  std::vector<trace::NodeTrace> traces;  ///< owned, analysis order
+  std::vector<std::size_t> runs;         ///< per-trace testing-run tag
+  trace::IrqLine line = 0;
+  GroundTruth truth;
+
+  /// Borrowed views over `traces` in analysis order.
+  std::vector<pipeline::TaggedTrace> tagged() const;
+};
+
+/// Simulate `spec` at `seed` and derive its ground truth. `run_scale`
+/// multiplies the variant's virtual duration (smoke tests shrink it).
+/// `baseline = true` strips the mutation (the unmutated control).
+/// An arena, when given, donates pooled buffers exactly as in campaigns.
+VariantRun run_variant(const VariantSpec& spec, std::uint64_t seed,
+                       double run_scale = 1.0,
+                       apps::WorldArena* arena = nullptr,
+                       bool baseline = false);
+
+}  // namespace sent::corpus

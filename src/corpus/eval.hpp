@@ -1,0 +1,126 @@
+// Corpus x detector evaluation harness (DESIGN.md §16).
+//
+// Grades every detector's ascending ranking against the corpus's derived
+// ground-truth labels. Metric conventions (unit-tested against hand
+// fixtures in tests/eval_metrics_test.cpp):
+//
+//   precision@k  — buggy fraction of the top min(k, n) ranked intervals;
+//                  0 when the ranking or k is empty.
+//   recall@k     — labelled intervals inside the top k over all labelled
+//                  intervals; 0 when nothing is labelled.
+//   mean rank    — mean 1-based rank of the labelled intervals; 0 when
+//                  nothing is labelled.
+//   first rank   — 1-based rank of the best-ranked labelled interval; 0
+//                  when nothing is labelled.
+//   detection    — fraction of triggered seeds whose first rank lands in
+//                  the top k; 0 when no seed triggered (a corpus cell that
+//                  never manifests has demonstrated nothing).
+//
+// A sweep fans variant seeds through the amortized campaign engine
+// (worker-local WorldArena runners, chunked seed claiming), writes every
+// per-seed outcome into its own pre-allocated slot, and aggregates in seed
+// order — so sweep_json() is byte-identical for every thread count, which
+// bench/ext_corpus and scripts/tier1.sh cmp(1) directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "pipeline/campaign.hpp"
+
+namespace sent::corpus {
+
+// ---- metric primitives ----------------------------------------------------
+// `ranked_truth[i]` says whether the interval at rank i+1 is labelled.
+
+double precision_at(const std::vector<bool>& ranked_truth, std::size_t k);
+double recall_at(const std::vector<bool>& ranked_truth, std::size_t k);
+double mean_rank(const std::vector<bool>& ranked_truth);
+std::size_t first_rank(const std::vector<bool>& ranked_truth);
+double detection_rate(const std::vector<std::size_t>& first_ranks,
+                      std::size_t k);
+
+// ---- sweep ----------------------------------------------------------------
+
+/// The evaluated detectors, in matrix-column order: ocsvm, knn, lof, pca,
+/// mahalanobis, dustminer (the labelled baseline).
+const std::vector<std::string>& detector_names();
+
+struct SweepOptions {
+  std::uint64_t first_seed = 1;
+  std::size_t seeds = 5;
+  std::size_t k = 5;  ///< detection cut-off rank
+  std::vector<std::size_t> ks = {1, 3, 5, 10};  ///< precision/recall curve
+  std::size_t threads = 1;
+  double run_scale = 1.0;
+};
+
+/// One detector's grades for one (variant, seed) cell.
+struct DetectorSeedOutcome {
+  std::size_t first_rank = 0;
+  double seed_mean_rank = 0.0;
+  std::vector<double> precision;  ///< per SweepOptions::ks
+  std::vector<double> recall;     ///< per SweepOptions::ks
+
+  bool operator==(const DetectorSeedOutcome&) const = default;
+};
+
+/// Everything recorded for one (variant, seed) run.
+struct SeedOutcome {
+  bool triggered = false;
+  std::uint64_t label_digest = 0;
+  std::size_t samples = 0;   ///< anatomized intervals scored
+  std::size_t labeled = 0;   ///< ground-truth labelled intervals
+  std::vector<DetectorSeedOutcome> detectors;  ///< per detector_names()
+
+  bool operator==(const SeedOutcome&) const = default;
+};
+
+/// One detector's aggregate over a variant's triggered seeds.
+struct DetectorCell {
+  std::string detector;
+  double detection_rate = 0.0;
+  double mean_first_rank = 0.0;
+  double mean_rank = 0.0;
+  std::vector<double> precision;  ///< per SweepOptions::ks, seed-averaged
+  std::vector<double> recall;
+
+  bool operator==(const DetectorCell&) const = default;
+};
+
+struct VariantReport {
+  std::string id;
+  std::string bug_class;
+  std::string case_tag;
+  std::string marker;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::size_t seeds = 0;
+  std::size_t triggered = 0;
+  std::size_t samples_total = 0;
+  std::size_t labels_total = 0;
+  std::vector<SeedOutcome> outcomes;  ///< seed order
+  std::vector<DetectorCell> cells;    ///< per detector_names()
+};
+
+struct SweepResult {
+  SweepOptions options;  ///< as given (threads excluded from the JSON)
+  std::vector<VariantReport> variants;
+};
+
+/// Run the corpus sweep: for each spec, a campaign over
+/// [first_seed, first_seed + seeds) through worker-local arenas; each
+/// seed's report is scored by every detector. Self-checks that the
+/// campaign's own trigger/first-rank accounting (pipeline::analyze
+/// has_bug) agrees with the independently derived corpus labels — a
+/// mismatch throws.
+SweepResult run_sweep(const std::vector<VariantSpec>& specs,
+                      const SweepOptions& options);
+
+/// Deterministic JSON rendering (stable key order, %.10g doubles).
+/// Excludes threads and wall-clock, so serial and parallel sweeps of the
+/// same workload render byte-identically.
+std::string sweep_json(const SweepResult& result);
+
+}  // namespace sent::corpus

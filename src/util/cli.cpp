@@ -106,6 +106,12 @@ std::int64_t Cli::get_int(const std::string& name) const {
   }
 }
 
+std::int64_t Cli::get_nonneg_int(const std::string& name) const {
+  const std::int64_t v = get_int(name);
+  if (v < 0) bad_value(name, get(name), "a non-negative integer");
+  return v;
+}
+
 double Cli::get_double(const std::string& name) const {
   const std::string value = get(name);
   try {

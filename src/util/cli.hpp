@@ -26,6 +26,10 @@ class Cli {
 
   std::string get(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
+  /// get_int that additionally rejects negative values with a usage error.
+  /// Count-like flags (--jobs, --runs) use this so "--jobs -3" exits 2
+  /// instead of wrapping to a huge unsigned count.
+  std::int64_t get_nonneg_int(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_switch(const std::string& name) const;
 

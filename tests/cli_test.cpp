@@ -46,6 +46,24 @@ TEST(CliDeathTest, TrailingGarbageIsRejected) {
               "flag --jobs expects an integer");
 }
 
+// Count-like flags (--jobs, --seeds) go through get_nonneg_int: "--jobs -3"
+// is a usage error, not a 2^64-sized thread pool after the size_t cast.
+TEST(CliDeathTest, NegativeCountIsUsageError) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--jobs=-3"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("jobs"), -3);  // the plain getter still allows it
+  EXPECT_EXIT(cli.get_nonneg_int("jobs"), ::testing::ExitedWithCode(2),
+              "flag --jobs expects a non-negative integer, got '-3'");
+}
+
+TEST(Cli, NonnegIntAcceptsZeroAndPositive) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--jobs=0"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_nonneg_int("jobs"), 0);
+}
+
 TEST(CliDeathTest, NonNumericDoubleIsUsageError) {
   Cli cli = make_cli();
   const char* argv[] = {"prog", "--rate=fast"};

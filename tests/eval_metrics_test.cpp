@@ -1,0 +1,118 @@
+// Hand-computed fixtures for the corpus evaluation metrics (DESIGN.md §16).
+//
+// Every metric is checked against rankings small enough to grade by eye,
+// including the degenerate inputs the sweep can legitimately produce: zero
+// true positives, k beyond the candidate list, empty rankings, all-tied
+// scores, and no triggered seeds.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/detector.hpp"
+#include "corpus/eval.hpp"
+
+namespace sent::corpus {
+namespace {
+
+// ranked_truth[i] == interval at rank i+1 is labelled buggy.
+const std::vector<bool> kMixed = {false, true, false, true, false,
+                                  false, true, false};
+
+TEST(Precision, HandComputed) {
+  // top-1: 0/1; top-2: 1/2; top-4: 2/4; top-8: 3/8.
+  EXPECT_DOUBLE_EQ(precision_at(kMixed, 1), 0.0);
+  EXPECT_DOUBLE_EQ(precision_at(kMixed, 2), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at(kMixed, 4), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at(kMixed, 8), 3.0 / 8.0);
+}
+
+TEST(Precision, KBeyondCandidatesUsesActualListLength) {
+  // k = 100 > 8 candidates: denominator is min(k, n) = 8, not 100 — a
+  // short ranking must not be penalized for intervals that do not exist.
+  EXPECT_DOUBLE_EQ(precision_at(kMixed, 100), 3.0 / 8.0);
+}
+
+TEST(Precision, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(precision_at({}, 5), 0.0);       // empty ranking
+  EXPECT_DOUBLE_EQ(precision_at(kMixed, 0), 0.0);   // empty cut-off
+  EXPECT_DOUBLE_EQ(precision_at({false, false}, 2), 0.0);  // zero positives
+  EXPECT_DOUBLE_EQ(precision_at({true, true}, 2), 1.0);
+}
+
+TEST(Recall, HandComputed) {
+  // 3 labelled total; top-2 holds 1 of them, top-7 holds all 3.
+  EXPECT_DOUBLE_EQ(recall_at(kMixed, 1), 0.0);
+  EXPECT_DOUBLE_EQ(recall_at(kMixed, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(recall_at(kMixed, 4), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(recall_at(kMixed, 7), 1.0);
+  EXPECT_DOUBLE_EQ(recall_at(kMixed, 100), 1.0);
+}
+
+TEST(Recall, ZeroTruePositivesIsZeroNotNan) {
+  EXPECT_DOUBLE_EQ(recall_at({false, false, false}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(recall_at({}, 3), 0.0);
+}
+
+TEST(MeanRank, HandComputed) {
+  // Labelled at 1-based ranks 2, 4, 7 -> mean 13/3.
+  EXPECT_DOUBLE_EQ(mean_rank(kMixed), 13.0 / 3.0);
+  EXPECT_DOUBLE_EQ(mean_rank({true}), 1.0);
+  EXPECT_DOUBLE_EQ(mean_rank({false, false, true}), 3.0);
+}
+
+TEST(MeanRank, NothingLabelledIsZero) {
+  EXPECT_DOUBLE_EQ(mean_rank({false, false}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_rank({}), 0.0);
+}
+
+TEST(FirstRank, HandComputed) {
+  EXPECT_EQ(first_rank(kMixed), 2u);
+  EXPECT_EQ(first_rank({true, false}), 1u);
+  EXPECT_EQ(first_rank({false, false, false, true}), 4u);
+}
+
+TEST(FirstRank, NothingLabelledIsZero) {
+  EXPECT_EQ(first_rank({false, false}), 0u);
+  EXPECT_EQ(first_rank({}), 0u);
+}
+
+TEST(DetectionRate, HandComputed) {
+  // First ranks over 4 triggered seeds: 1, 3, 7, 12. Detected @5: 2 of 4.
+  const std::vector<std::size_t> ranks = {1, 3, 7, 12};
+  EXPECT_DOUBLE_EQ(detection_rate(ranks, 5), 0.5);
+  EXPECT_DOUBLE_EQ(detection_rate(ranks, 1), 0.25);
+  EXPECT_DOUBLE_EQ(detection_rate(ranks, 12), 1.0);
+  EXPECT_DOUBLE_EQ(detection_rate(ranks, 0), 0.0);
+}
+
+TEST(DetectionRate, RankZeroMeansMissed) {
+  // first_rank == 0 encodes "never surfaced" and can never be detected.
+  EXPECT_DOUBLE_EQ(detection_rate({0, 0, 2}, 5), 1.0 / 3.0);
+}
+
+TEST(DetectionRate, NoTriggeredSeedsIsZero) {
+  EXPECT_DOUBLE_EQ(detection_rate({}, 5), 0.0);
+}
+
+// All-tied scores: rank_ascending breaks ties by ascending index, so the
+// ranked_truth derived from a tied ranking is exactly the sample order —
+// the metrics must stay well-defined and reproducible, not depend on sort
+// instability.
+TEST(TiedScores, StableTieBreakMakesMetricsDeterministic) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<bool> has_bug = {false, true, false, true};
+  auto ranking = core::rank_ascending(scores);
+  ASSERT_EQ(ranking.size(), 4u);
+  std::vector<bool> ranked_truth;
+  for (const auto& entry : ranking) {
+    EXPECT_EQ(entry.index, ranked_truth.size());  // ties keep sample order
+    ranked_truth.push_back(has_bug[entry.index]);
+  }
+  EXPECT_EQ(first_rank(ranked_truth), 2u);
+  EXPECT_DOUBLE_EQ(precision_at(ranked_truth, 2), 0.5);
+  EXPECT_DOUBLE_EQ(recall_at(ranked_truth, 2), 0.5);
+  EXPECT_DOUBLE_EQ(mean_rank(ranked_truth), 3.0);
+}
+
+}  // namespace
+}  // namespace sent::corpus
